@@ -1,0 +1,151 @@
+// Command dynsim runs one simulated scenario: it deploys a sensor network,
+// builds the cluster structure, assigns time-slots, runs a broadcast or
+// multicast, and prints structural statistics and measured protocol
+// metrics.
+//
+// Examples:
+//
+//	dynsim -n 300 -side 10 -protocol icff
+//	dynsim -n 300 -protocol dfo -failfrac 0.1
+//	dynsim -n 200 -protocol multicast -groupfrac 0.2 -channels 4
+//	dynsim -n 200 -protocol gather
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dynsens/internal/broadcast"
+	"dynsens/internal/core"
+	"dynsens/internal/gather"
+	"dynsens/internal/graph"
+	"dynsens/internal/radio"
+	"dynsens/internal/workload"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 200, "number of nodes")
+		side      = flag.Int("side", 10, "region side in 100 m units")
+		seed      = flag.Int64("seed", 1, "deployment seed")
+		protocol  = flag.String("protocol", "icff", "icff|cff|dfo|multicast|gather")
+		channels  = flag.Int("channels", 1, "radio channels k")
+		source    = flag.Int("source", 0, "broadcast source node ID")
+		failFrac  = flag.Float64("failfrac", 0, "fraction of nodes failing mid-broadcast")
+		groupFrac = flag.Float64("groupfrac", 0.2, "multicast group membership probability")
+		verbose   = flag.Bool("v", false, "print per-event trace")
+	)
+	flag.Parse()
+
+	if err := run(*n, *side, *seed, *protocol, *channels, *source, *failFrac, *groupFrac, *verbose); err != nil {
+		fmt.Fprintf(os.Stderr, "dynsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, side int, seed int64, protocol string, channels, source int, failFrac, groupFrac float64, verbose bool) error {
+	d, err := workload.IncrementalConnected(workload.PaperConfig(seed, side, n))
+	if err != nil {
+		return err
+	}
+	net, err := core.Build(d.Graph(), core.Config{})
+	if err != nil {
+		return err
+	}
+	if err := net.Verify(); err != nil {
+		return err
+	}
+
+	st := net.Stats()
+	fmt.Printf("network: %d nodes on %dx%d units (range 50 m)\n", st.Nodes, side, side)
+	fmt.Printf("structure: clusters=%d gateways=%d members=%d height=%d\n",
+		st.Clusters, st.Gateways, st.Members, st.Height)
+	fmt.Printf("backbone: size=%d height=%d\n", st.BackboneSize, st.BackboneHeight)
+	fmt.Printf("degrees/slots: D=%d d=%d Delta=%d delta=%d (Lemma 3 bounds %d / %d)\n",
+		st.DegreeG, st.DegreeBT, st.Delta, st.SmallDelta, st.BoundL, st.BoundB)
+
+	opts := broadcast.Options{Channels: channels}
+	if verbose {
+		opts.Trace = func(ev radio.Event) {
+			switch ev.Kind {
+			case radio.EvTransmit:
+				fmt.Printf("  r%-4d tx   node %d ch %d\n", ev.Round, ev.Node, ev.Channel)
+			case radio.EvDeliver:
+				fmt.Printf("  r%-4d rx   node %d <- %d ch %d\n", ev.Round, ev.Node, ev.Peer, ev.Channel)
+			case radio.EvCollision:
+				fmt.Printf("  r%-4d coll node %d ch %d\n", ev.Round, ev.Node, ev.Channel)
+			case radio.EvNodeFail:
+				fmt.Printf("  r%-4d DIED node %d\n", ev.Round, ev.Node)
+			}
+		}
+	}
+	if failFrac > 0 {
+		horizon := 2 * (st.BackboneSize - 1)
+		if horizon < 1 {
+			horizon = 1
+		}
+		for _, f := range workload.FailureTrace(net.Graph(), net.Root(), failFrac, horizon, seed*17) {
+			opts.Failures = append(opts.Failures, broadcast.NodeFailure{Node: f.Node, Round: f.Round})
+		}
+		fmt.Printf("injected %d node failures\n", len(opts.Failures))
+	}
+
+	src := graph.NodeID(source)
+	var m broadcast.Metrics
+	switch protocol {
+	case "icff":
+		m, err = net.Broadcast(src, opts)
+	case "cff":
+		m, err = net.BroadcastCFF(src, opts)
+	case "dfo":
+		m, err = net.BroadcastDFO(src, opts)
+	case "gather":
+		values := make(map[graph.NodeID]int64)
+		var want int64
+		for _, id := range net.CNet().Tree().Nodes() {
+			values[id] = int64(id) + 1
+			want += int64(id) + 1
+		}
+		var gfails []gather.Failure
+		for _, f := range opts.Failures {
+			gfails = append(gfails, gather.Failure{Node: f.Node, Round: f.Round})
+		}
+		gm, err := net.Gather(values, gather.Options{Failures: gfails})
+		if err != nil {
+			return err
+		}
+		fmt.Println(gm)
+		fmt.Printf("expected sum %d; reporting fraction %.3f\n", want,
+			float64(gm.Reporting)/float64(gm.Nodes))
+		return nil
+	case "multicast":
+		rng := rand.New(rand.NewSource(seed * 31))
+		joined := 0
+		for _, id := range net.CNet().Tree().Nodes() {
+			if rng.Float64() < groupFrac {
+				if err := net.JoinGroup(id, 1); err != nil {
+					return err
+				}
+				joined++
+			}
+		}
+		if joined == 0 {
+			if err := net.JoinGroup(net.Root(), 1); err != nil {
+				return err
+			}
+			joined = 1
+		}
+		fmt.Printf("multicast group 1: %d members\n", joined)
+		m, err = net.Multicast(1, src, opts)
+	default:
+		return fmt.Errorf("unknown protocol %q", protocol)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(m)
+	fmt.Printf("delivery ratio: %.3f\n", m.DeliveryRatio())
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, proto := range []string{"icff", "cff", "dfo", "multicast", "gather"} {
+		if err := run(60, 8, 1, proto, 1, 0, 0, 0.3, false); err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+	}
+}
+
+func TestRunWithFailuresAndChannels(t *testing.T) {
+	if err := run(60, 8, 2, "icff", 4, 0, 0.1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(60, 8, 2, "dfo", 1, 0, 0.1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerboseTrace(t *testing.T) {
+	if err := run(20, 8, 3, "icff", 1, 0, 0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	if err := run(20, 8, 1, "nope", 1, 0, 0, 0, false); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestRunNonRootSource(t *testing.T) {
+	if err := run(40, 8, 1, "icff", 1, 17, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}

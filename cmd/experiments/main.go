@@ -1,0 +1,100 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (and this reproduction's extensions) as text tables.
+//
+// Usage:
+//
+//	experiments [-fig all|8|9|10|11|bounds|channels|multicast|robust|reconfig|areas|ablation|slotcond]
+//	            [-side 10] [-sizes 100,200,300,400,500] [-seeds 5] [-baseseed 1]
+//	            [-quick]
+//
+// With -quick a small sweep runs in a few seconds; the default parameters
+// match the paper's published 10x10-unit curves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dynsens/internal/expt"
+	"dynsens/internal/stats"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "experiment ID or 'all'")
+		side     = flag.Int("side", 10, "region side in 100 m units")
+		sizes    = flag.String("sizes", "100,200,300,400,500", "comma-separated node counts")
+		seeds    = flag.Int("seeds", 5, "deployments per point")
+		baseSeed = flag.Int64("baseseed", 1, "base RNG seed")
+		quick    = flag.Bool("quick", false, "small fast sweep")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expt.Catalog() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	p := expt.Params{Side: *side, Seeds: *seeds, BaseSeed: *baseSeed}
+	for _, s := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "experiments: bad size %q\n", s)
+			os.Exit(2)
+		}
+		p.Sizes = append(p.Sizes, n)
+	}
+	if *quick {
+		p = expt.Quick()
+	}
+
+	var selected []expt.Experiment
+	if *fig == "all" {
+		selected = expt.Catalog()
+	} else {
+		e, ok := expt.Find(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *fig)
+			os.Exit(2)
+		}
+		selected = []expt.Experiment{e}
+	}
+	for _, e := range selected {
+		t, err := e.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n", e.Name)
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("expected shape: %s\n\n", e.Notes)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.ID, t); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir, id string, t *stats.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(dir + "/" + id + ".csv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV(f)
+}

@@ -1,0 +1,123 @@
+// Command nettool builds a network and exports it: as indented JSON
+// (deployment geometry, cluster structure, time-slots, group lists) for
+// external tooling, or as an ASCII map of the field for a quick look.
+//
+// Examples:
+//
+//	nettool -n 200 -json out.json
+//	nettool -n 200 -ascii
+//	nettool -n 150 -groups 3 -json - | jq '.nodes[0]'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dynsens/internal/core"
+	"dynsens/internal/netio"
+	"dynsens/internal/workload"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 200, "number of nodes")
+		side     = flag.Int("side", 10, "region side in 100 m units")
+		seed     = flag.Int64("seed", 1, "deployment seed")
+		groups   = flag.Int("groups", 0, "assign this many random multicast groups")
+		jsonPath = flag.String("json", "", "write JSON to this path ('-' for stdout)")
+		dotPath  = flag.String("dot", "", "write a Graphviz rendering to this path ('-' for stdout)")
+		svgPath  = flag.String("svg", "", "write an SVG rendering to this path ('-' for stdout)")
+		ascii    = flag.Bool("ascii", false, "print an ASCII map")
+		cols     = flag.Int("cols", 72, "ASCII map width")
+		rows     = flag.Int("rows", 28, "ASCII map height")
+	)
+	flag.Parse()
+
+	if err := run(*n, *side, *seed, *groups, *jsonPath, *dotPath, *svgPath, *ascii, *cols, *rows); err != nil {
+		fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, side int, seed int64, groups int, jsonPath, dotPath, svgPath string, ascii bool, cols, rows int) error {
+	d, err := workload.IncrementalConnected(workload.PaperConfig(seed, side, n))
+	if err != nil {
+		return err
+	}
+	net, err := core.Build(d.Graph(), core.Config{})
+	if err != nil {
+		return err
+	}
+	if err := net.Verify(); err != nil {
+		return err
+	}
+	if groups > 0 {
+		rng := rand.New(rand.NewSource(seed * 7))
+		for _, id := range net.CNet().Tree().Nodes() {
+			g := 1 + rng.Intn(groups)
+			if err := net.JoinGroup(id, g); err != nil {
+				return err
+			}
+		}
+	}
+
+	if ascii {
+		fmt.Print(netio.AsciiMap(net, d, cols, rows))
+	}
+	if jsonPath != "" {
+		nw, err := netio.Export(net, d)
+		if err != nil {
+			return err
+		}
+		out := os.Stdout
+		if jsonPath != "-" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := nw.Write(out); err != nil {
+			return err
+		}
+	}
+	if dotPath != "" {
+		out := os.Stdout
+		if dotPath != "-" {
+			f, err := os.Create(dotPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if _, err := out.WriteString(netio.DOT(net, d)); err != nil {
+			return err
+		}
+	}
+	if svgPath != "" {
+		out := os.Stdout
+		if svgPath != "-" {
+			f, err := os.Create(svgPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if _, err := out.WriteString(netio.SVG(net, d, 800)); err != nil {
+			return err
+		}
+	}
+	if !ascii && jsonPath == "" && dotPath == "" && svgPath == "" {
+		st := net.Stats()
+		fmt.Printf("built %d nodes: %d clusters, backbone %d (height %d), D=%d d=%d Delta=%d delta=%d\n",
+			st.Nodes, st.Clusters, st.BackboneSize, st.BackboneHeight,
+			st.DegreeG, st.DegreeBT, st.Delta, st.SmallDelta)
+		fmt.Println("use -json or -ascii for output")
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunJSONAndDot(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "net.json")
+	dotPath := filepath.Join(dir, "net.dot")
+	svgPath := filepath.Join(dir, "net.svg")
+	if err := run(40, 8, 1, 2, jsonPath, dotPath, svgPath, false, 40, 16); err != nil {
+		t.Fatal(err)
+	}
+	j, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(j), "\"nodes\"") {
+		t.Fatal("JSON missing nodes")
+	}
+	d, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(d), "graph cnet {") {
+		t.Fatal("DOT malformed")
+	}
+	svg, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svg), "<svg") {
+		t.Fatal("SVG malformed")
+	}
+}
+
+func TestRunAsciiOnly(t *testing.T) {
+	if err := run(30, 8, 2, 0, "", "", "", true, 40, 12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSummaryOnly(t *testing.T) {
+	if err := run(30, 8, 2, 0, "", "", "", false, 40, 12); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+// Firmware rollout: a fleet operator pushes an update to one device model
+// only. Devices register in multicast groups by model; the update is
+// multicast with relay-list pruning, so subtrees without that model never
+// wake up to relay — far fewer transmissions than flooding everyone.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dynsens/internal/broadcast"
+	"dynsens/internal/core"
+	"dynsens/internal/workload"
+)
+
+const (
+	modelA = 1 // temperature sensors
+	modelB = 2 // humidity sensors
+	modelC = 3 // vibration sensors
+)
+
+func main() {
+	deployment, err := workload.IncrementalConnected(workload.PaperConfig(7, 10, 400))
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := core.Build(deployment.Graph(), core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each device registers its model as a multicast group; relay-lists
+	// propagate to the sink automatically.
+	rng := rand.New(rand.NewSource(99))
+	count := map[int]int{}
+	for _, id := range net.CNet().Tree().Nodes() {
+		model := modelA + rng.Intn(3)
+		if err := net.JoinGroup(id, model); err != nil {
+			log.Fatal(err)
+		}
+		count[model]++
+	}
+	fmt.Printf("fleet: %d model-A, %d model-B, %d model-C devices\n",
+		count[modelA], count[modelB], count[modelC])
+	if err := net.Verify(); err != nil {
+		log.Fatalf("relay lists inconsistent: %v", err)
+	}
+
+	// Push the model-B firmware from the sink.
+	mc, err := net.Multicast(modelB, net.Root(), broadcast.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// What a full broadcast would have cost.
+	bc, err := net.Broadcast(net.Root(), broadcast.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nmulticast to model B: %s\n", mc)
+	fmt.Printf("full broadcast:       %s\n", bc)
+	if !mc.Completed {
+		log.Fatalf("rollout incomplete: %d/%d devices updated", mc.Received, mc.Audience)
+	}
+	fmt.Printf("\nall %d model-B devices updated with %d transmissions (broadcast needs %d)\n",
+		mc.Audience, mc.Transmissions, bc.Transmissions)
+
+	// A device model can be retired: leaving the group prunes it from
+	// future rollouts immediately.
+	members := net.Groups().GroupMembers(modelC)
+	for _, id := range members {
+		if err := net.LeaveGroup(id, modelC); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("retired model C (%d devices left the group)\n", len(members))
+	if err := net.Verify(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: deploy a sensor field, let it self-organize into the
+// cluster-based structure, and broadcast a message from the sink with the
+// paper's Improved Collision-Free Flooding — then compare against the
+// depth-first-order baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynsens/internal/broadcast"
+	"dynsens/internal/core"
+	"dynsens/internal/workload"
+)
+
+func main() {
+	// 250 sensors on a 1 km x 1 km field, 50 m radio range — the paper's
+	// simulation setup. The deployment is connected by construction
+	// because nodes join the network one at a time (node-move-in).
+	deployment, err := workload.IncrementalConnected(workload.PaperConfig(42, 10, 250))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Self-organize: every node is inserted via node-move-in, becoming a
+	// cluster head, gateway or pure member, and time-slots are assigned
+	// incrementally.
+	net, err := core.Build(deployment.Graph(), core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		log.Fatalf("structure invariants violated: %v", err)
+	}
+
+	st := net.Stats()
+	fmt.Printf("self-organized: %d clusters, backbone %d nodes (height %d)\n",
+		st.Clusters, st.BackboneSize, st.BackboneHeight)
+	fmt.Printf("max degrees D=%d d=%d; largest slots Delta=%d delta=%d\n",
+		st.DegreeG, st.DegreeBT, st.Delta, st.SmallDelta)
+
+	// Broadcast from the sink.
+	cff, err := net.Broadcast(net.Root(), broadcast.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dfo, err := net.BroadcastDFO(net.Root(), broadcast.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncollision-free flooding: %s\n", cff)
+	fmt.Printf("depth-first baseline:    %s\n", dfo)
+	fmt.Printf("\nCFF is %.1fx faster and nodes sleep %.1fx longer.\n",
+		float64(dfo.CompletionRound)/float64(cff.CompletionRound),
+		float64(dfo.MaxAwake)/float64(cff.MaxAwake))
+}

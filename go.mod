@@ -1,0 +1,3 @@
+module dynsens
+
+go 1.22

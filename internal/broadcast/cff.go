@@ -1,0 +1,79 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"dynsens/internal/graph"
+	"dynsens/internal/radio"
+	"dynsens/internal/timeslot"
+)
+
+// CFFPlan builds the plain Collision-Free Flooding schedule (Algorithm 1):
+// after the source-to-root preamble, the payload floods CNet(G) one depth
+// per window; internal nodes at depth i transmit in window i at their
+// u-time-slot, and every node at depth j listens in window j-1 until it
+// receives. The schedule is Delta_u * h rounds after the preamble.
+func CFFPlan(a *timeslot.Assignment, source graph.NodeID, k int) (*Plan, error) {
+	net := a.Net()
+	tr := net.Tree()
+	if !tr.Contains(source) {
+		return nil, fmt.Errorf("broadcast: source %d not in network", source)
+	}
+	depth := tr.DepthMap()
+	h := tr.Height()
+	uW := windowWidth(a.Max(timeslot.U), k)
+
+	progs := make(map[graph.NodeID]radio.Program, tr.Size())
+	for _, id := range tr.Nodes() {
+		progs[id] = &floodNode{id: id, startHas: id == source}
+	}
+	node := func(id graph.NodeID) *floodNode { return progs[id].(*floodNode) }
+
+	path := tr.PathToRoot(source)
+	pre := len(path) - 1
+	for j, id := range path {
+		if j >= 1 {
+			node(id).listens = append(node(id).listens, listenPlan{Lo: j, Hi: j, Ch: 0})
+		}
+		if j < pre {
+			node(id).txs = append(node(id).txs, txPlan{
+				Round: j + 1, Ch: 0,
+				Msg: radio.Message{Seq: payloadSeq, Src: source, Dst: path[j+1], Depth: depth[id]},
+			})
+		}
+	}
+
+	for _, id := range tr.Nodes() {
+		d := depth[id]
+		if a.IsTransmitter(timeslot.U, id) {
+			slot, _ := a.Slot(timeslot.U, id)
+			node(id).txs = append(node(id).txs, txPlan{
+				Round: pre + d*uW + slotRound(slot, k),
+				Ch:    slotChannel(slot, k),
+				Msg: radio.Message{Seq: payloadSeq, Src: source, Dst: radio.NoNode,
+					Slot: slot, Depth: d, MaxSlot: a.Max(timeslot.U), Height: h},
+			})
+		}
+		if a.IsReceiver(timeslot.U, id) {
+			ch := radio.Channel(0)
+			if _, slot, ok := a.Designated(timeslot.U, id); ok {
+				ch = slotChannel(slot, k)
+			}
+			node(id).listens = append(node(id).listens, listenPlan{
+				Lo: pre + (d-1)*uW + 1, Hi: pre + d*uW, Ch: ch,
+			})
+		}
+	}
+
+	aud := tr.Nodes()
+	return &Plan{Protocol: "CFF", ScheduleLen: pre + h*uW, Programs: progs, Audience: aud}, nil
+}
+
+// RunCFF builds and runs Algorithm 1.
+func RunCFF(a *timeslot.Assignment, source graph.NodeID, opts Options) (Metrics, error) {
+	plan, err := CFFPlan(a, source, opts.channels())
+	if err != nil {
+		return Metrics{}, err
+	}
+	return plan.Run(a.Net().Graph(), opts)
+}

@@ -1,0 +1,154 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"dynsens/internal/cnet"
+	"dynsens/internal/graph"
+	"dynsens/internal/radio"
+)
+
+// dfoNode runs the depth-first-order baseline of [19]: a single token walks
+// the Eulerian tour of BT(G); the token holder is the only transmitter in
+// its round. Every node stays awake (listening) for the whole tour — it has
+// no way to know when the broadcast ends, which is exactly the energy
+// weakness the paper attacks — and pure members pick the payload up when
+// their head transmits.
+type dfoNode struct {
+	id      graph.NodeID
+	tourEnd int
+	// txRounds maps a scheduled transmission round to the token target.
+	txRounds map[int]graph.NodeID
+	// starts marks rounds in which this node may transmit without having
+	// received a token (the source's first move).
+	starts map[int]bool
+
+	hasPayload    bool
+	receivedRound int
+	startHas      bool
+	tokenAt       map[int]bool // rounds in which a token addressed to us arrived
+	curRound      int
+}
+
+func (p *dfoNode) Received() (bool, int) {
+	if p.startHas {
+		return true, 0
+	}
+	return p.hasPayload, p.receivedRound
+}
+
+func (p *dfoNode) Act(round int) radio.Action {
+	p.curRound = round
+	if round > p.tourEnd {
+		return radio.SleepAction()
+	}
+	if dst, ok := p.txRounds[round]; ok {
+		authorized := p.starts[round] || p.tokenAt[round-1]
+		if authorized && (p.hasPayload || p.startHas) {
+			return radio.TransmitOn(0, radio.Message{Seq: payloadSeq, Dst: dst})
+		}
+	}
+	return radio.ListenOn(0)
+}
+
+func (p *dfoNode) Deliver(round int, msg radio.Message) {
+	if msg.Seq == payloadSeq && !p.hasPayload && !p.startHas {
+		p.hasPayload = true
+		p.receivedRound = round
+	}
+	if msg.Dst == p.id {
+		p.tokenAt[round] = true
+	}
+}
+
+func (p *dfoNode) Done() bool { return p.curRound >= p.tourEnd }
+
+// DFOPlan builds the depth-first-order broadcast of [19]. The payload
+// travels an Eulerian tour of the backbone starting at the source (a member
+// source first hands the payload to its cluster head). Exactly one node
+// transmits per round, so the tour takes 2(|BT|-1) rounds (at most 4p-2)
+// plus the member hop, and a single node or link failure stalls the token.
+func DFOPlan(net *cnet.CNet, source graph.NodeID) (*Plan, error) {
+	tr := net.Tree()
+	if !tr.Contains(source) {
+		return nil, fmt.Errorf("broadcast: source %d not in network", source)
+	}
+	bt := net.Backbone()
+
+	progs := make(map[graph.NodeID]radio.Program, tr.Size())
+	mk := func(id graph.NodeID) *dfoNode {
+		return &dfoNode{
+			id:       id,
+			txRounds: make(map[int]graph.NodeID),
+			starts:   make(map[int]bool),
+			tokenAt:  make(map[int]bool),
+		}
+	}
+	for _, id := range tr.Nodes() {
+		progs[id] = mk(id)
+	}
+	node := func(id graph.NodeID) *dfoNode { return progs[id].(*dfoNode) }
+	node(source).startHas = true
+
+	tourStart := 1
+	tourNode := source
+	if st, _ := net.Status(source); st == cnet.Member {
+		// Hand the payload to the head first.
+		head, _ := tr.Parent(source)
+		node(source).txRounds[1] = head
+		node(source).starts[1] = true
+		tourStart = 2
+		tourNode = head
+	}
+	tour := bt.EulerTour(tourNode)
+	for p := 0; p+1 < len(tour); p++ {
+		r := tourStart + p
+		n := node(tour[p])
+		n.txRounds[r] = tour[p+1]
+		if p == 0 {
+			// The tour head is authorized by holding the payload: either
+			// it is the source itself or it receives the member's hop in
+			// round 1 (tokenAt covers that case).
+			n.starts[r] = tour[p] == source
+		}
+	}
+	tourEnd := tourStart + len(tour) - 2
+	if len(tour) <= 1 {
+		// Backbone of one node: only the member hop (if any) matters.
+		tourEnd = tourStart - 1
+		if tourEnd < 1 && tr.Size() > 1 {
+			// Root-only backbone with members but source == root: the root
+			// must still transmit once so members hear the payload.
+			n := node(tourNode)
+			n.txRounds[1] = radio.NoNode
+			n.starts[1] = true
+			tourEnd = 1
+		}
+	}
+	if tourStart == 2 && len(tour) <= 1 && tr.Size() > 1 {
+		// Member source whose head is the whole backbone: the head
+		// rebroadcasts once for the other members.
+		n := node(tourNode)
+		n.txRounds[2] = radio.NoNode
+		tourEnd = 2
+	}
+	for _, id := range tr.Nodes() {
+		node(id).tourEnd = tourEnd
+	}
+
+	return &Plan{
+		Protocol:    "DFO",
+		ScheduleLen: tourEnd,
+		Programs:    progs,
+		Audience:    tr.Nodes(),
+	}, nil
+}
+
+// RunDFO builds and runs the baseline.
+func RunDFO(net *cnet.CNet, source graph.NodeID, opts Options) (Metrics, error) {
+	plan, err := DFOPlan(net, source)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return plan.Run(net.Graph(), opts)
+}

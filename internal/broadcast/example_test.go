@@ -1,0 +1,51 @@
+package broadcast_test
+
+import (
+	"fmt"
+
+	"dynsens/internal/broadcast"
+	"dynsens/internal/cnet"
+	"dynsens/internal/graph"
+	"dynsens/internal/timeslot"
+)
+
+// line builds the path 0-1-2-3-4 and its cluster structure.
+func line() (*cnet.CNet, *timeslot.Assignment) {
+	g := graph.New()
+	for i := 1; i < 5; i++ {
+		if err := g.AddEdge(graph.NodeID(i-1), graph.NodeID(i)); err != nil {
+			panic(err)
+		}
+	}
+	c, _, err := cnet.BuildFromGraph(g, 0, nil)
+	if err != nil {
+		panic(err)
+	}
+	return c, timeslot.New(c, timeslot.ConditionStrict)
+}
+
+// ExampleRunICFF broadcasts over a 5-node chain with Algorithm 2.
+func ExampleRunICFF() {
+	_, a := line()
+	m, err := broadcast.RunICFF(a, 0, broadcast.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("delivered %d/%d, completed=%v\n", m.Received, m.Audience, m.Completed)
+	// Output:
+	// delivered 5/5, completed=true
+}
+
+// ExampleRunDFO runs the depth-first-order baseline on the same chain: a
+// chain's backbone is almost the whole graph, so the tour is long and every
+// node stays awake throughout.
+func ExampleRunDFO() {
+	c, _ := line()
+	m, err := broadcast.RunDFO(c, 0, broadcast.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("completed=%v maxAwake=%d\n", m.Completed, m.MaxAwake)
+	// Output:
+	// completed=true maxAwake=8
+}

@@ -1,0 +1,182 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"dynsens/internal/cnet"
+	"dynsens/internal/graph"
+	"dynsens/internal/radio"
+	"dynsens/internal/timeslot"
+)
+
+// ICFFPlan builds the Improved Collision-Free Flooding schedule (Algorithm
+// 2) for a broadcast from source with k channels:
+//
+//	preamble:  the source relays the payload up the tree to the root
+//	           (at most h rounds, one hop per round);
+//	step 1:    the backbone floods depth by depth; backbone depth-i
+//	           transmitters fire in window i at their b-time-slot;
+//	step 2:    every head with members transmits once at its l-time-slot
+//	           inside one shared window; members listen there.
+//
+// relay gates which backbone nodes forward in steps 1-2 (multicast pruning;
+// pass nil for a full broadcast) and audience marks the nodes expected to
+// receive (nil means everyone). Backbone nodes listen when they relay or are
+// themselves audience; the preamble is never pruned. Listening channels are
+// chosen against the *relaying* subset of each interference set, so
+// multicast pruning cannot silently retune a receiver to a muted head.
+func ICFFPlan(a *timeslot.Assignment, source graph.NodeID, k int,
+	relay func(graph.NodeID) bool, audience func(graph.NodeID) bool) (*Plan, error) {
+	return icffPlan(a, source, newSlotting(k, 1), relay, audience)
+}
+
+// ICFFPlanGuarded is ICFFPlan with guard slots: each time-slot occupies
+// guard rounds (transmitting in the middle) and windows gain guard/2
+// margin rounds, so the schedule tolerates per-node clock skew up to
+// guard/2 rounds at a proportional cost in schedule length.
+func ICFFPlanGuarded(a *timeslot.Assignment, source graph.NodeID, k, guard int) (*Plan, error) {
+	return icffPlan(a, source, newSlotting(k, guard), nil, nil)
+}
+
+func icffPlan(a *timeslot.Assignment, source graph.NodeID, sl slotting,
+	relay func(graph.NodeID) bool, audience func(graph.NodeID) bool) (*Plan, error) {
+
+	net := a.Net()
+	tr := net.Tree()
+	if !tr.Contains(source) {
+		return nil, fmt.Errorf("broadcast: source %d not in network", source)
+	}
+	if relay == nil {
+		relay = func(graph.NodeID) bool { return true }
+	}
+	if audience == nil {
+		audience = func(graph.NodeID) bool { return true }
+	}
+
+	// listenChannel picks the channel of the unique-slot transmitter within
+	// the relaying part of v's interference set (smallest such slot), falling
+	// back to v's parent's slot channel when pruning destroyed uniqueness.
+	listenChannel := func(kind timeslot.Kind, v graph.NodeID) radio.Channel {
+		count := make(map[int]int)
+		set := a.InterferenceSet(kind, v)
+		for _, u := range set {
+			if !relay(u) {
+				continue
+			}
+			if s, ok := a.Slot(kind, u); ok {
+				count[s]++
+			}
+		}
+		best := -1
+		for _, u := range set {
+			if !relay(u) {
+				continue
+			}
+			if s, ok := a.Slot(kind, u); ok && count[s] == 1 && (best == -1 || s < best) {
+				best = s
+			}
+		}
+		if best != -1 {
+			return sl.channel(best)
+		}
+		if p, ok := tr.Parent(v); ok {
+			if s, ok := a.Slot(kind, p); ok {
+				return sl.channel(s)
+			}
+		}
+		return 0
+	}
+	depth := tr.DepthMap()
+	bt := net.Backbone()
+	hBT := bt.Height()
+	bW := sl.width(a.SmallDelta())
+	lW := sl.width(a.Delta())
+
+	progs := make(map[graph.NodeID]radio.Program, tr.Size())
+	for _, id := range tr.Nodes() {
+		progs[id] = &floodNode{id: id, startHas: id == source}
+	}
+	node := func(id graph.NodeID) *floodNode { return progs[id].(*floodNode) }
+
+	// Preamble: source -> root, one hop per round on channel 0.
+	path := tr.PathToRoot(source)
+	pre := len(path) - 1
+	for j, id := range path {
+		if j >= 1 {
+			node(id).listens = append(node(id).listens, listenPlan{Lo: j, Hi: j, Ch: 0})
+		}
+		if j < pre {
+			node(id).txs = append(node(id).txs, txPlan{
+				Round: j + 1, Ch: 0,
+				Msg: radio.Message{Seq: payloadSeq, Src: source, Dst: path[j+1], Depth: depth[id]},
+			})
+		}
+	}
+
+	// Step 1: backbone flooding with b-slots.
+	for _, id := range bt.Nodes() {
+		d := depth[id]
+		if a.IsTransmitter(timeslot.B, id) && relay(id) && d < hBT {
+			slot, _ := a.Slot(timeslot.B, id)
+			node(id).txs = append(node(id).txs, txPlan{
+				Round: pre + d*bW + sl.txOffset(slot),
+				Ch:    sl.channel(slot),
+				Msg: radio.Message{Seq: payloadSeq, Src: source, Dst: radio.NoNode,
+					Slot: slot, Depth: d, MaxSlot: a.SmallDelta(), Height: hBT},
+			})
+		}
+		if a.IsReceiver(timeslot.B, id) && (relay(id) || audience(id)) {
+			node(id).listens = append(node(id).listens, listenPlan{
+				Lo: pre + (d-1)*bW + 1, Hi: pre + d*bW,
+				Ch: listenChannel(timeslot.B, id),
+			})
+		}
+	}
+
+	// Step 2: heads deliver to members inside one shared l-window.
+	base := pre + hBT*bW
+	anyMember := false
+	for _, id := range tr.Nodes() {
+		st, _ := net.Status(id)
+		if st == cnet.Member {
+			anyMember = true
+			if audience(id) {
+				node(id).listens = append(node(id).listens, listenPlan{
+					Lo: base + 1, Hi: base + lW,
+					Ch: listenChannel(timeslot.L, id),
+				})
+			}
+			continue
+		}
+		if a.IsTransmitter(timeslot.L, id) && relay(id) {
+			slot, _ := a.Slot(timeslot.L, id)
+			node(id).txs = append(node(id).txs, txPlan{
+				Round: base + sl.txOffset(slot),
+				Ch:    sl.channel(slot),
+				Msg: radio.Message{Seq: payloadSeq, Src: source, Dst: radio.NoNode,
+					Slot: slot, Depth: depth[id], MaxSlot: a.Delta(), Height: hBT},
+			})
+		}
+	}
+
+	sched := base
+	if anyMember {
+		sched = base + lW
+	}
+	var aud []graph.NodeID
+	for _, id := range tr.Nodes() {
+		if audience(id) {
+			aud = append(aud, id)
+		}
+	}
+	return &Plan{Protocol: "ICFF", ScheduleLen: sched, Programs: progs, Audience: aud}, nil
+}
+
+// RunICFF builds and runs Algorithm 2 as a full broadcast.
+func RunICFF(a *timeslot.Assignment, source graph.NodeID, opts Options) (Metrics, error) {
+	plan, err := ICFFPlan(a, source, opts.channels(), nil, nil)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return plan.Run(a.Net().Graph(), opts)
+}

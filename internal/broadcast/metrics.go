@@ -1,0 +1,198 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"dynsens/internal/graph"
+	"dynsens/internal/radio"
+)
+
+// NodeFailure kills a node at the start of a round during the run.
+type NodeFailure struct {
+	Node  graph.NodeID
+	Round int
+}
+
+// LinkFailure cuts a link at the start of a round during the run.
+type LinkFailure struct {
+	A, B  graph.NodeID
+	Round int
+}
+
+// Options tune a protocol run.
+type Options struct {
+	// Channels is the number of radio channels k (default 1).
+	Channels int
+	// Failures are node deaths to inject.
+	Failures []NodeFailure
+	// LinkFailures are link cuts to inject.
+	LinkFailures []LinkFailure
+	// MaxRounds overrides the engine round budget (default: the schedule
+	// length).
+	MaxRounds int
+	// Skew assigns per-node clock offsets in rounds (Section 3.3's
+	// imperfect synchronization); combine with guard slots to tolerate it.
+	Skew map[graph.NodeID]int
+	// LossRate drops each frame independently with this probability
+	// (fading model); LossSeed drives the coins.
+	LossRate float64
+	LossSeed int64
+	// Trace receives engine events when non-nil.
+	Trace func(radio.Event)
+}
+
+func (o Options) channels() int {
+	if o.Channels <= 0 {
+		return 1
+	}
+	return o.Channels
+}
+
+// Metrics reports what a protocol run actually did.
+type Metrics struct {
+	Protocol string
+	// ScheduleLen is the planned duration in rounds.
+	ScheduleLen int
+	// Rounds is what the engine executed (early quiescence possible).
+	Rounds int
+	// Audience is the number of nodes expected to hold the payload.
+	Audience int
+	// Received is how many of them actually got it.
+	Received int
+	// Completed is Received == Audience.
+	Completed bool
+	// CompletionRound is the round in which the last audience node first
+	// received the payload (0 when the audience is only the source).
+	CompletionRound int
+	// MaxAwake / MeanAwake summarize per-node awake rounds.
+	MaxAwake  int
+	MeanAwake float64
+	// Collisions and Transmissions are engine counters.
+	Collisions    int
+	Transmissions int
+	// Awake is the per-node breakdown; Listens and Transmits split it by
+	// activity for energy models.
+	Awake     map[graph.NodeID]int
+	Listens   map[graph.NodeID]int
+	Transmits map[graph.NodeID]int
+}
+
+// DeliveryRatio returns Received/Audience (1 for an empty audience).
+func (m Metrics) DeliveryRatio() float64 {
+	if m.Audience == 0 {
+		return 1
+	}
+	return float64(m.Received) / float64(m.Audience)
+}
+
+// String renders a one-line summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%s: rounds=%d (sched %d) delivered=%d/%d completion=%d maxAwake=%d meanAwake=%.1f collisions=%d tx=%d",
+		m.Protocol, m.Rounds, m.ScheduleLen, m.Received, m.Audience,
+		m.CompletionRound, m.MaxAwake, m.MeanAwake, m.Collisions, m.Transmissions)
+}
+
+// Plan is a fully-scheduled protocol instance ready to run.
+type Plan struct {
+	Protocol    string
+	Programs    map[graph.NodeID]radio.Program
+	ScheduleLen int
+	// Audience lists the nodes expected to receive (or already hold) the
+	// payload.
+	Audience []graph.NodeID
+}
+
+// StampGroup sets the multicast group ID carried in every scheduled
+// transmission of the plan (the paper transmits the group ID with the
+// broadcast message).
+func (p *Plan) StampGroup(group int) {
+	for _, prog := range p.Programs {
+		if fn, ok := prog.(*floodNode); ok {
+			for i := range fn.txs {
+				fn.txs[i].Msg.Group = group
+			}
+		}
+	}
+}
+
+// Preload marks nodes as already holding the payload (e.g. from an earlier
+// repetition); they skip listening for it and relay at their scheduled
+// slots immediately.
+func (p *Plan) Preload(has map[graph.NodeID]bool) {
+	for id, prog := range p.Programs {
+		if fn, ok := prog.(*floodNode); ok && has[id] {
+			fn.startHas = true
+		}
+	}
+}
+
+// Run executes the plan on the given graph.
+func (p *Plan) Run(g *graph.Graph, opts Options) (Metrics, error) {
+	eng, err := radio.NewEngine(g, p.Programs)
+	if err != nil {
+		return Metrics{}, err
+	}
+	if opts.Trace != nil {
+		eng.SetTrace(opts.Trace)
+	}
+	for _, f := range opts.Failures {
+		eng.FailNodeAt(f.Node, f.Round)
+	}
+	for _, f := range opts.LinkFailures {
+		eng.FailLinkAt(f.A, f.B, f.Round)
+	}
+	if opts.LossRate > 0 {
+		if err := eng.SetLoss(opts.LossRate, opts.LossSeed); err != nil {
+			return Metrics{}, err
+		}
+	}
+	maxSkew := 0
+	for id, off := range opts.Skew {
+		eng.SetClockSkew(id, off)
+		if off > maxSkew {
+			maxSkew = off
+		}
+		if -off > maxSkew {
+			maxSkew = -off
+		}
+	}
+	budget := p.ScheduleLen + maxSkew
+	if opts.MaxRounds > 0 {
+		budget = opts.MaxRounds
+	}
+	res := eng.Run(budget)
+
+	m := Metrics{
+		Protocol:      p.Protocol,
+		ScheduleLen:   p.ScheduleLen,
+		Rounds:        res.Rounds,
+		Audience:      len(p.Audience),
+		MaxAwake:      res.MaxAwake(),
+		MeanAwake:     res.MeanAwake(),
+		Collisions:    res.Collisions,
+		Transmissions: res.Transmissions,
+		Awake:         res.Awake,
+		Listens:       res.Listens,
+		Transmits:     res.Transmits,
+	}
+	for _, id := range p.Audience {
+		fn, ok := p.Programs[id].(receiver)
+		if !ok {
+			return Metrics{}, fmt.Errorf("broadcast: program of %d does not expose reception", id)
+		}
+		got, round := fn.Received()
+		if got {
+			m.Received++
+			if round > m.CompletionRound {
+				m.CompletionRound = round
+			}
+		}
+	}
+	m.Completed = m.Received == m.Audience
+	return m, nil
+}
+
+// receiver is implemented by all protocol programs.
+type receiver interface {
+	Received() (bool, int)
+}

@@ -1,0 +1,143 @@
+package broadcast
+
+import (
+	"testing"
+
+	"dynsens/internal/graph"
+	"dynsens/internal/timeslot"
+	"dynsens/internal/workload"
+)
+
+func TestPFloodOnPath(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 5; i++ {
+		g.AddNode(graph.NodeID(i))
+	}
+	for i := 1; i < 5; i++ {
+		_ = g.AddEdge(graph.NodeID(i-1), graph.NodeID(i))
+	}
+	// Forward=1 on a path: no two forwarders share a receiver except
+	// consecutive ones; with backoff it usually completes.
+	m, err := RunPFlood(g, 0, PFloodOptions{Seed: 3, Forward: 1, MaxDelay: 3, Horizon: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Received < 3 {
+		t.Fatalf("path flood reached only %d/5: %s", m.Received, m)
+	}
+}
+
+func TestPFloodErrors(t *testing.T) {
+	g := graph.New()
+	g.AddNode(0)
+	if _, err := RunPFlood(g, 7, PFloodOptions{Forward: 0.5}); err == nil {
+		t.Fatal("absent source accepted")
+	}
+	if _, err := RunPFlood(g, 0, PFloodOptions{Forward: 1.5}); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+}
+
+func TestPFloodZeroForwardOnlySourceNeighborhood(t *testing.T) {
+	a := buildAssigned(t, 11, 80, timeslot.ConditionStrict)
+	g := a.Net().Graph()
+	m, err := RunPFlood(g, 0, PFloodOptions{Seed: 1, Forward: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the source's neighbors (and the source) can have the payload.
+	want := g.Degree(0) + 1
+	if m.Received > want {
+		t.Fatalf("received %d with forwarding disabled (max %d)", m.Received, want)
+	}
+}
+
+func TestPFloodBroadcastStorm(t *testing.T) {
+	// Dense deployment, blind flooding with tiny backoff: collisions
+	// must appear in bulk, and delivery typically stays incomplete —
+	// the broadcast-storm problem the paper's clustering avoids.
+	a := buildAssigned(t, 13, 250, timeslot.ConditionStrict)
+	g := a.Net().Graph()
+	m, err := RunPFlood(g, 0, PFloodOptions{Seed: 1, Forward: 1, MaxDelay: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Collisions == 0 {
+		t.Fatalf("blind flooding produced no collisions: %s", m)
+	}
+	// Structured CFF on the same graph delivers everyone.
+	cff, err := RunICFF(a, 0, Options{})
+	if err != nil || !cff.Completed {
+		t.Fatalf("CFF failed: %v %s", err, cff)
+	}
+	if m.Received > cff.Received {
+		t.Fatalf("flooding outdelivered CFF: %d vs %d", m.Received, cff.Received)
+	}
+	// Unstructured nodes listen for the whole horizon: awake cost far
+	// above CFF's.
+	if m.MaxAwake <= cff.MaxAwake {
+		t.Fatalf("flood awake %d not above CFF %d", m.MaxAwake, cff.MaxAwake)
+	}
+}
+
+func TestRoundRobinCompletes(t *testing.T) {
+	a := buildAssigned(t, 19, 120, timeslot.ConditionStrict)
+	g := a.Net().Graph()
+	m, err := RunRoundRobin(g, 0, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Completed {
+		t.Fatalf("round robin incomplete: %s", m)
+	}
+	if m.Collisions != 0 {
+		t.Fatalf("round robin collided %d times", m.Collisions)
+	}
+	// It is far slower than structured CFF.
+	cff, err := RunICFF(a, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CompletionRound <= cff.CompletionRound {
+		t.Fatalf("RR completion %d not above CFF %d", m.CompletionRound, cff.CompletionRound)
+	}
+}
+
+func TestRoundRobinErrors(t *testing.T) {
+	g := graph.New()
+	g.AddNode(0)
+	if _, err := RunRoundRobin(g, 9, 0, Options{}); err == nil {
+		t.Fatal("absent source accepted")
+	}
+}
+
+func TestRoundRobinSingleNode(t *testing.T) {
+	g := graph.New()
+	g.AddNode(0)
+	m, err := RunRoundRobin(g, 0, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Completed || m.Received != 1 {
+		t.Fatalf("singleton RR: %s", m)
+	}
+}
+
+func TestPFloodDeterministicPerSeed(t *testing.T) {
+	d, err := workload.IncrementalConnected(workload.PaperConfig(5, 8, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Graph()
+	m1, err := RunPFlood(g, 0, PFloodOptions{Seed: 9, Forward: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := RunPFlood(g, 0, PFloodOptions{Seed: 9, Forward: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Received != m2.Received || m1.Collisions != m2.Collisions {
+		t.Fatalf("non-deterministic: %s vs %s", m1, m2)
+	}
+}

@@ -1,0 +1,165 @@
+// Package broadcast implements the paper's broadcast protocols as per-node
+// programs executed on the radio engine:
+//
+//   - CFF (Algorithm 1 "CollisionFreeFlooding"): floods CNet(G) depth by
+//     depth using u-time-slots; Delta_u * h rounds, each node awake O(Delta_u).
+//   - ICFF (Algorithm 2 "ImprovedCollisionFreeFlooding"): floods the small
+//     backbone BT(G) with b-time-slots, then delivers to all leaves in one
+//     l-slot window; delta*h + Delta rounds, each node awake O(delta + Delta).
+//   - DFO (depth-first-order, the baseline of [19]): a single token walks
+//     an Eulerian tour of BT(G); at most 4p-2 rounds with every node awake
+//     for the whole tour.
+//
+// All three support k radio channels (slot s maps to window round
+// ceil(s/k) on channel (s-1) mod k), failure injection, and produce
+// measured metrics: completion round, delivery ratio, per-node awake
+// rounds, collisions.
+package broadcast
+
+import (
+	"dynsens/internal/graph"
+	"dynsens/internal/radio"
+)
+
+// payloadSeq is the Message.Seq used for the broadcast payload.
+const payloadSeq = 1
+
+// listenPlan is a half-open listening assignment: the node listens on Ch
+// during rounds [Lo, Hi] until it has the payload (early stop unless
+// Sticky).
+type listenPlan struct {
+	Lo, Hi int
+	Ch     radio.Channel
+	// Sticky listening continues even after the payload is received
+	// (used by DFO token bookkeeping, not by flooding).
+	Sticky bool
+}
+
+// txPlan transmits Msg on Ch at Round, provided the node holds the payload.
+type txPlan struct {
+	Round int
+	Ch    radio.Channel
+	Msg   radio.Message
+}
+
+// floodNode is the generic flooding program: listen in windows until the
+// payload arrives, then fire the scheduled transmissions.
+type floodNode struct {
+	id       graph.NodeID
+	startHas bool
+	listens  []listenPlan
+	txs      []txPlan
+
+	received      bool
+	receivedRound int
+	curRound      int // last round passed to Act
+}
+
+func (p *floodNode) has() bool { return p.startHas || p.received }
+
+// Received reports whether the node obtained the payload, and in which
+// round (0 for sources that started with it).
+func (p *floodNode) Received() (bool, int) {
+	if p.startHas {
+		return true, 0
+	}
+	return p.received, p.receivedRound
+}
+
+func (p *floodNode) Act(round int) radio.Action {
+	p.curRound = round
+	if p.has() {
+		for _, tx := range p.txs {
+			if tx.Round == round {
+				return radio.TransmitOn(tx.Ch, tx.Msg)
+			}
+		}
+	}
+	for _, l := range p.listens {
+		if round >= l.Lo && round <= l.Hi && (!p.has() || l.Sticky) {
+			return radio.ListenOn(l.Ch)
+		}
+	}
+	return radio.SleepAction()
+}
+
+func (p *floodNode) Deliver(round int, msg radio.Message) {
+	if msg.Seq == payloadSeq && !p.has() {
+		p.received = true
+		p.receivedRound = round
+	}
+}
+
+func (p *floodNode) Done() bool {
+	next := p.curRound + 1
+	if p.has() {
+		for _, tx := range p.txs {
+			if tx.Round >= next {
+				return false
+			}
+		}
+		return true
+	}
+	// Without the payload the node can still be obligated to listen.
+	for _, l := range p.listens {
+		if l.Hi >= next {
+			return false
+		}
+	}
+	return true
+}
+
+// slotting maps 1-based time-slots to (round offset, channel) within a
+// window, supporting k channels and guard slots. With guard factor G each
+// logical slot occupies G rounds (the transmitter fires in the middle) and
+// the window gains G/2 margin rounds on each side, so schedules tolerate
+// per-node clock skew up to G/2 rounds (Section 3.3's synchronization
+// relaxation, quantified).
+type slotting struct {
+	k     int
+	guard int
+}
+
+func newSlotting(k, guard int) slotting {
+	if k < 1 {
+		k = 1
+	}
+	if guard < 1 {
+		guard = 1
+	}
+	return slotting{k: k, guard: guard}
+}
+
+func (s slotting) margin() int { return s.guard / 2 }
+
+// width returns the window length in rounds for a window of maxSlot slots.
+func (s slotting) width(maxSlot int) int {
+	w := windowWidth(maxSlot, s.k)
+	if w == 0 {
+		return 0
+	}
+	return w*s.guard + 2*s.margin()
+}
+
+// txOffset returns the 1-based round offset within the window at which a
+// holder of slot fires.
+func (s slotting) txOffset(slot int) int {
+	return s.margin() + (slotRound(slot, s.k)-1)*s.guard + (s.guard+1)/2
+}
+
+func (s slotting) channel(slot int) radio.Channel { return slotChannel(slot, s.k) }
+
+// slotRound maps a 1-based slot to its round offset within a window of
+// width ceil(maxSlot/k) when k channels are available.
+func slotRound(slot, k int) int { return (slot-1)/k + 1 }
+
+// slotChannel maps a 1-based slot to its channel.
+func slotChannel(slot, k int) radio.Channel { return radio.Channel((slot - 1) % k) }
+
+// windowWidth is ceil(maxSlot/k), the round length of a slot window.
+func windowWidth(maxSlot, k int) int {
+	if maxSlot <= 0 {
+		return 0
+	}
+	return (maxSlot + k - 1) / k
+}

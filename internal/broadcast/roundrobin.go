@@ -1,0 +1,100 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"dynsens/internal/graph"
+	"dynsens/internal/radio"
+)
+
+// rrNode implements deterministic round-robin broadcast on a flat network
+// (the classic O(n)-per-layer deterministic scheme behind results like
+// Chlebus et al. [9]): rounds are organized in phases of N slots, one per
+// node ID; a node transmits in its slot once it holds the payload and
+// keeps doing so every phase (it cannot know when its neighbors are done),
+// and listens until the payload arrives.
+type rrNode struct {
+	id       graph.NodeID
+	index    int // position of id in the sorted ID list
+	n        int // number of nodes = phase length
+	horizon  int
+	startHas bool
+
+	received      bool
+	receivedRound int
+	cur           int
+}
+
+func (p *rrNode) Received() (bool, int) {
+	if p.startHas {
+		return true, 0
+	}
+	return p.received, p.receivedRound
+}
+
+func (p *rrNode) Act(round int) radio.Action {
+	p.cur = round
+	if round > p.horizon {
+		return radio.SleepAction()
+	}
+	if (round-1)%p.n == p.index && (p.startHas || p.received) {
+		return radio.TransmitOn(0, radio.Message{Seq: payloadSeq, Src: p.id, Dst: radio.NoNode})
+	}
+	if !p.startHas && !p.received {
+		return radio.ListenOn(0)
+	}
+	return radio.SleepAction()
+}
+
+func (p *rrNode) Deliver(round int, msg radio.Message) {
+	if msg.Seq == payloadSeq && !p.received {
+		p.received = true
+		p.receivedRound = round
+	}
+}
+
+func (p *rrNode) Done() bool { return p.cur >= p.horizon }
+
+// RoundRobinPlan builds the deterministic flat baseline. The horizon is
+// phases*N rounds; pass phases <= 0 to size it from the source's
+// eccentricity plus one slack phase (ground truth the protocol itself
+// would not have — the cost of deterministic flat broadcast is exactly
+// that nodes cannot tell when to stop). The schedule is collision-free by
+// construction: exactly one node may transmit per round.
+func RoundRobinPlan(g *graph.Graph, source graph.NodeID, phases int) (*Plan, error) {
+	if !g.HasNode(source) {
+		return nil, fmt.Errorf("broadcast: source %d not in graph", source)
+	}
+	nodes := g.Nodes()
+	n := len(nodes)
+	if phases <= 0 {
+		ecc, _ := g.Eccentricity(source)
+		phases = ecc + 2
+	}
+	horizon := phases * n
+	progs := make(map[graph.NodeID]radio.Program, n)
+	for i, id := range nodes {
+		progs[id] = &rrNode{
+			id:       id,
+			index:    i,
+			n:        n,
+			horizon:  horizon,
+			startHas: id == source,
+		}
+	}
+	return &Plan{
+		Protocol:    "RR",
+		ScheduleLen: horizon,
+		Programs:    progs,
+		Audience:    nodes,
+	}, nil
+}
+
+// RunRoundRobin builds and runs the baseline.
+func RunRoundRobin(g *graph.Graph, source graph.NodeID, phases int, opts Options) (Metrics, error) {
+	plan, err := RoundRobinPlan(g, source, phases)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return plan.Run(g, opts)
+}

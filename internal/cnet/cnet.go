@@ -1,0 +1,318 @@
+// Package cnet implements the paper's reconfigurable cluster-based network
+// structure (Section 2 and Section 5): the cluster-net CNet(G) — a spanning
+// tree in which every node is a cluster-head, gateway, or pure member — its
+// backbone tree BT(G) of heads and gateways, and the two topology-management
+// operations node-move-in and node-move-out that keep the structure correct
+// as nodes join and leave.
+//
+// The structure follows Definition 1 exactly: a joining node attaches to a
+// head (becoming a member), else to a gateway (becoming a head), else to a
+// member (which is promoted to gateway, the joiner becoming a head). The
+// resulting invariants (Property 1: head independence, backbone size, depth
+// parity) are machine-checked by Verify.
+package cnet
+
+import (
+	"fmt"
+
+	"dynsens/internal/graph"
+)
+
+// Status is a node's role in CNet(G).
+type Status int
+
+const (
+	// Head is a cluster head. Heads sit at even depths and form an
+	// independent set of G.
+	Head Status = iota
+	// Gateway relays between two adjacent clusters; gateways sit at odd
+	// depths. A gateway's parent and children are heads.
+	Gateway
+	// Member is a pure cluster member; members are always leaves whose
+	// parent is their cluster head.
+	Member
+)
+
+// String names the status as in the paper.
+func (s Status) String() string {
+	switch s {
+	case Head:
+		return "cluster-head"
+	case Gateway:
+		return "gateway"
+	case Member:
+		return "pure-member"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Policy selects the parent among eligible candidates during node-move-in
+// ("based on the criteria an application needs, such as on energy level").
+// Candidates are non-empty and sorted ascending.
+type Policy func(candidates []graph.NodeID) graph.NodeID
+
+// LowestID is the default deterministic policy.
+func LowestID(candidates []graph.NodeID) graph.NodeID { return candidates[0] }
+
+// MaxValue returns a policy preferring the candidate with the largest value
+// (e.g. remaining energy), ties broken by lowest ID. Missing entries count
+// as zero.
+func MaxValue(value map[graph.NodeID]float64) Policy {
+	return func(candidates []graph.NodeID) graph.NodeID {
+		best := candidates[0]
+		for _, c := range candidates[1:] {
+			if value[c] > value[best] {
+				best = c
+			}
+		}
+		return best
+	}
+}
+
+// OpCost records the round cost of one topology operation, split per the
+// paper's accounting (Theorems 2 and 3). The structural layer fills the
+// discovery and height parts; the time-slot layer adds its 2d+D part.
+type OpCost struct {
+	// Discovery is the O(d_new) expected part of node-move-in (knowledge
+	// I), or the Euler-tour part of node-move-out.
+	Discovery int
+	// HeightUpdate is the 2h part: propagating heights and the largest
+	// updated b-time-slot along the path to the root.
+	HeightUpdate int
+	// SlotUpdate is the 2d+D part added by the time-slot layer.
+	SlotUpdate int
+	// Moves counts node-move-in sub-operations (1 for a plain move-in,
+	// |T| for a move-out re-inserting subtree T).
+	Moves int
+}
+
+// Total returns the summed rounds.
+func (c OpCost) Total() int { return c.Discovery + c.HeightUpdate + c.SlotUpdate + c.Moves }
+
+// Add accumulates another cost.
+func (c *OpCost) Add(o OpCost) {
+	c.Discovery += o.Discovery
+	c.HeightUpdate += o.HeightUpdate
+	c.SlotUpdate += o.SlotUpdate
+	c.Moves += o.Moves
+}
+
+// CNet is the cluster-based structure over the evolving network graph G.
+type CNet struct {
+	g      *graph.Graph
+	tree   *graph.Tree
+	status map[graph.NodeID]Status
+	policy Policy
+}
+
+// New creates a CNet containing only the root (a cluster head, Definition
+// 1(1)). The root models the sink.
+func New(root graph.NodeID, policy Policy) *CNet {
+	if policy == nil {
+		policy = LowestID
+	}
+	g := graph.New()
+	g.AddNode(root)
+	return &CNet{
+		g:      g,
+		tree:   graph.NewTree(root),
+		status: map[graph.NodeID]Status{root: Head},
+		policy: policy,
+	}
+}
+
+// Graph returns the current network graph G (shared, do not mutate).
+func (c *CNet) Graph() *graph.Graph { return c.g }
+
+// Tree returns the cluster-net spanning tree (shared, do not mutate).
+func (c *CNet) Tree() *graph.Tree { return c.tree }
+
+// Root returns the root (sink).
+func (c *CNet) Root() graph.NodeID { return c.tree.Root() }
+
+// Status returns the role of id.
+func (c *CNet) Status(id graph.NodeID) (Status, bool) {
+	s, ok := c.status[id]
+	return s, ok
+}
+
+// Contains reports whether id is in the network.
+func (c *CNet) Contains(id graph.NodeID) bool {
+	_, ok := c.status[id]
+	return ok
+}
+
+// Size returns the number of nodes.
+func (c *CNet) Size() int { return len(c.status) }
+
+// Heads returns all cluster heads, ascending.
+func (c *CNet) Heads() []graph.NodeID { return c.withStatus(Head) }
+
+// Gateways returns all gateways, ascending.
+func (c *CNet) Gateways() []graph.NodeID { return c.withStatus(Gateway) }
+
+// Members returns all pure members, ascending.
+func (c *CNet) Members() []graph.NodeID { return c.withStatus(Member) }
+
+func (c *CNet) withStatus(want Status) []graph.NodeID {
+	var out []graph.NodeID
+	for _, id := range c.tree.Nodes() {
+		if c.status[id] == want {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MoveIn performs node-move-in (Section 5.1): node id joins with the given
+// neighbor set U (the existing nodes within transmission range). It applies
+// Definition 1's rules, updates G and CNet(G), and returns the parent chosen
+// and the structural round cost (Theorem 2: O(d_new) expected for knowledge
+// I, plus 2h for propagating heights to the root).
+func (c *CNet) MoveIn(id graph.NodeID, neighbors []graph.NodeID) (graph.NodeID, OpCost, error) {
+	if c.Contains(id) {
+		return 0, OpCost{}, fmt.Errorf("cnet: node %d already present", id)
+	}
+	if len(neighbors) == 0 {
+		return 0, OpCost{}, fmt.Errorf("cnet: node %d has no neighbors in the network", id)
+	}
+	seen := make(map[graph.NodeID]struct{}, len(neighbors))
+	var heads, gateways, members []graph.NodeID
+	for _, n := range neighbors {
+		if n == id {
+			return 0, OpCost{}, fmt.Errorf("cnet: node %d lists itself as neighbor", id)
+		}
+		if _, dup := seen[n]; dup {
+			return 0, OpCost{}, fmt.Errorf("cnet: duplicate neighbor %d", n)
+		}
+		seen[n] = struct{}{}
+		s, ok := c.status[n]
+		if !ok {
+			return 0, OpCost{}, fmt.Errorf("cnet: neighbor %d not in network", n)
+		}
+		switch s {
+		case Head:
+			heads = append(heads, n)
+		case Gateway:
+			gateways = append(gateways, n)
+		case Member:
+			members = append(members, n)
+		}
+	}
+
+	var parent graph.NodeID
+	switch {
+	case len(heads) > 0:
+		// Rule (ii) case 1: attach to a head as a pure member.
+		parent = c.policy(heads)
+		c.status[id] = Member
+	case len(gateways) > 0:
+		// Case 2: attach to a gateway as the head of a new cluster.
+		parent = c.policy(gateways)
+		c.status[id] = Head
+	default:
+		// Case 3: attach to a member, which is promoted to gateway; the
+		// joiner heads a new cluster.
+		parent = c.policy(members)
+		c.status[parent] = Gateway
+		c.status[id] = Head
+	}
+
+	c.g.AddNode(id)
+	for n := range seen {
+		if err := c.g.AddEdge(id, n); err != nil {
+			// Unreachable: id != n checked above.
+			return 0, OpCost{}, err
+		}
+	}
+	if err := c.tree.AddChild(id, parent); err != nil {
+		return 0, OpCost{}, err
+	}
+
+	cost := OpCost{
+		Discovery:    len(neighbors),
+		HeightUpdate: 2 * c.tree.Height(),
+		Moves:        1,
+	}
+	return parent, cost, nil
+}
+
+// BuildFromGraph constructs a CNet for a connected graph g by inserting
+// nodes in BFS order from root via repeated MoveIn. This is the
+// "add nodes one by one" construction of Section 5; the alternative
+// gossip-based construction yields the same structure class. The total
+// structural cost is returned.
+func BuildFromGraph(g *graph.Graph, root graph.NodeID, policy Policy) (*CNet, OpCost, error) {
+	if !g.HasNode(root) {
+		return nil, OpCost{}, fmt.Errorf("cnet: root %d not in graph", root)
+	}
+	if !g.Connected() {
+		return nil, OpCost{}, fmt.Errorf("cnet: graph is not connected")
+	}
+	c := New(root, policy)
+	var total OpCost
+	order := g.BFS(root).Order
+	for _, id := range order[1:] {
+		var nbrs []graph.NodeID
+		for _, n := range g.Neighbors(id) {
+			if c.Contains(n) {
+				nbrs = append(nbrs, n)
+			}
+		}
+		if _, cost, err := c.MoveIn(id, nbrs); err != nil {
+			return nil, OpCost{}, fmt.Errorf("cnet: inserting %d: %w", id, err)
+		} else {
+			total.Add(cost)
+		}
+	}
+	return c, total, nil
+}
+
+// Backbone returns BT(G): the subtree of CNet(G) formed by heads and
+// gateways, rooted at the same root (Definition 2).
+func (c *CNet) Backbone() *graph.Tree {
+	bt := graph.NewTree(c.tree.Root())
+	// Preorder so parents are added before children.
+	for _, id := range c.tree.Subtree(c.tree.Root()) {
+		if id == c.tree.Root() {
+			continue
+		}
+		if c.status[id] == Member {
+			continue
+		}
+		p, _ := c.tree.Parent(id)
+		// Parent of a backbone node is always a backbone node (heads hang
+		// off gateways and vice versa), so this cannot fail.
+		if err := bt.AddChild(id, p); err != nil {
+			panic(fmt.Sprintf("cnet: backbone parent of %d missing: %v", id, err))
+		}
+	}
+	return bt
+}
+
+// BackboneNodes returns the IDs of heads and gateways, ascending.
+func (c *CNet) BackboneNodes() []graph.NodeID {
+	var out []graph.NodeID
+	for _, id := range c.tree.Nodes() {
+		if c.status[id] != Member {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// InducedBackboneGraph returns G(V_BT), the subgraph of G induced by the
+// backbone node set; its max degree is the paper's d.
+func (c *CNet) InducedBackboneGraph() *graph.Graph {
+	return c.g.InducedSubgraph(c.BackboneNodes())
+}
+
+// Clone returns a deep copy (sharing the policy function).
+func (c *CNet) Clone() *CNet {
+	st := make(map[graph.NodeID]Status, len(c.status))
+	for k, v := range c.status {
+		st[k] = v
+	}
+	return &CNet{g: c.g.Clone(), tree: c.tree.Clone(), status: st, policy: c.policy}
+}

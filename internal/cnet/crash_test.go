@@ -1,0 +1,173 @@
+package cnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynsens/internal/graph"
+	"dynsens/internal/workload"
+)
+
+func TestRemoveCrashedLeaf(t *testing.T) {
+	c := buildPaperNet(t, 51, 40)
+	leaf := c.Tree().Leaves()[0]
+	if leaf == c.Root() {
+		t.Skip("degenerate")
+	}
+	rec, cost, err := c.RemoveCrashed([]graph.NodeID{leaf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Dead) != 1 || rec.Dead[0] != leaf {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if len(rec.Reinserted) != 0 && len(rec.Dropped) != 0 {
+		t.Fatalf("leaf crash should strand nobody: %+v", rec)
+	}
+	if c.Contains(leaf) {
+		t.Fatal("dead node still present")
+	}
+	if cost.Total() <= 0 {
+		t.Fatalf("cost = %+v", cost)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveCrashedInternal(t *testing.T) {
+	c := buildPaperNet(t, 52, 80)
+	// Crash an internal node with a subtree.
+	var victim graph.NodeID
+	found := false
+	for _, id := range c.Tree().Nodes() {
+		if id != c.Root() && len(c.Tree().Subtree(id)) >= 3 {
+			victim, found = id, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no internal node with subtree")
+	}
+	before := c.Size()
+	sub := len(c.Tree().Subtree(victim))
+	rec, _, err := c.RemoveCrashed([]graph.NodeID{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != before-1-len(rec.Dropped) {
+		t.Fatalf("size %d, want %d minus %d dropped", c.Size(), before-1, len(rec.Dropped))
+	}
+	if len(rec.Reinserted)+len(rec.Dropped) != sub-1 {
+		t.Fatalf("orphans %d+%d, want %d", len(rec.Reinserted), len(rec.Dropped), sub-1)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveCrashedRoot(t *testing.T) {
+	c := buildPaperNet(t, 53, 50)
+	oldRoot := c.Root()
+	rec, _, err := c.RemoveCrashed([]graph.NodeID{oldRoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.RootReplaced || c.Root() == oldRoot || c.Contains(oldRoot) {
+		t.Fatalf("root not replaced: %+v", rec)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveCrashedMultiple(t *testing.T) {
+	c := buildPaperNet(t, 54, 100)
+	rng := rand.New(rand.NewSource(54))
+	var dead []graph.NodeID
+	nodes := c.Tree().Nodes()
+	for len(dead) < 8 {
+		cand := nodes[rng.Intn(len(nodes))]
+		if cand == c.Root() {
+			continue
+		}
+		dup := false
+		for _, d := range dead {
+			if d == cand {
+				dup = true
+			}
+		}
+		if !dup {
+			dead = append(dead, cand)
+		}
+	}
+	rec, _, err := c.RemoveCrashed(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dead {
+		if c.Contains(d) {
+			t.Fatalf("dead node %d survived", d)
+		}
+	}
+	if len(rec.Dead) != 8 {
+		t.Fatalf("dead = %v", rec.Dead)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The survivors form a connected structure reaching the root.
+	if !c.Graph().Connected() {
+		t.Fatal("surviving membership graph disconnected")
+	}
+}
+
+func TestRemoveCrashedErrors(t *testing.T) {
+	c := New(0, nil)
+	if _, _, err := c.RemoveCrashed(nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, _, err := c.RemoveCrashed([]graph.NodeID{99}); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if _, _, err := c.RemoveCrashed([]graph.NodeID{0}); err == nil {
+		t.Fatal("total wipeout accepted")
+	}
+}
+
+// Property: random crash sets always leave a valid structure whose
+// membership graph is connected, with dead nodes gone.
+func TestRemoveCrashedProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%60) + 10
+		k := int(kRaw%5) + 1
+		d, err := workload.IncrementalConnected(workload.PaperConfig(seed, 8, n))
+		if err != nil {
+			return false
+		}
+		c, _, err := BuildFromGraph(d.Graph(), 0, nil)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		deadSet := make(map[graph.NodeID]bool)
+		nodes := c.Tree().Nodes()
+		for len(deadSet) < k {
+			deadSet[nodes[rng.Intn(len(nodes))]] = true
+		}
+		var dead []graph.NodeID
+		for id := range deadSet {
+			dead = append(dead, id)
+		}
+		rec, _, err := c.RemoveCrashed(dead)
+		if err != nil {
+			return false
+		}
+		_ = rec
+		return c.Verify() == nil && c.Graph().Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

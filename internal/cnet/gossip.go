@@ -1,0 +1,22 @@
+package cnet
+
+import "dynsens/internal/graph"
+
+// BuildByGossip constructs CNet(G) by the second method of Section 5: the
+// nodes first gossip so that every node learns the whole topology — O(n)
+// rounds on a known-topology gossip schedule [7] — and then each node
+// computes its part of the cluster-net locally with zero further
+// communication. The resulting structure is identical to the incremental
+// construction (both deterministically insert in BFS order from the root);
+// only the round cost differs, which is what the returned OpCost models:
+// 2n gossip rounds and no per-node move-in traffic.
+//
+// Use this when bulk-deploying a field at once; use BuildFromGraph (or
+// repeated MoveIn) when nodes trickle in.
+func BuildByGossip(g *graph.Graph, root graph.NodeID, policy Policy) (*CNet, OpCost, error) {
+	c, _, err := BuildFromGraph(g, root, policy)
+	if err != nil {
+		return nil, OpCost{}, err
+	}
+	return c, OpCost{Discovery: 2 * g.NumNodes()}, nil
+}

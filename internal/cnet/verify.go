@@ -1,0 +1,138 @@
+package cnet
+
+import (
+	"fmt"
+
+	"dynsens/internal/graph"
+)
+
+// Verify machine-checks every structural invariant of Definition 1 and
+// Property 1 of the paper:
+//
+//  1. CNet(G) is a valid spanning tree of G whose edges are G-edges;
+//  2. the root is a cluster head;
+//  3. members are leaves whose parent is a head; heads' parents are
+//     gateways; gateways' parents are heads (so BT(G) is a subtree);
+//  4. depth parity: heads at even depth, gateways and members at odd depth;
+//  5. no two heads are adjacent in G (Property 1(2));
+//  6. |BT(G)| = 2*#clusters - 1 is NOT required (the paper's bound is
+//     |BT| <= 2p-1), but #heads <= any clique-cover size is, since heads
+//     are an independent set; Verify checks independence directly and
+//     VerifyCliqueBound checks the cover bound;
+//  7. every gateway is adjacent in G to the heads of both clusters it
+//     joins (its tree parent and every tree child).
+func (c *CNet) Verify() error {
+	if err := c.tree.Validate(); err != nil {
+		return fmt.Errorf("cnet: tree invalid: %w", err)
+	}
+	if c.tree.Size() != c.g.NumNodes() || c.tree.Size() != len(c.status) {
+		return fmt.Errorf("cnet: tree/graph/status sizes differ: %d/%d/%d",
+			c.tree.Size(), c.g.NumNodes(), len(c.status))
+	}
+	for _, id := range c.tree.Nodes() {
+		if !c.g.HasNode(id) {
+			return fmt.Errorf("cnet: tree node %d missing from G", id)
+		}
+		if p, ok := c.tree.Parent(id); ok && !c.g.HasEdge(id, p) {
+			return fmt.Errorf("cnet: tree edge %d-%d not a G edge", id, p)
+		}
+	}
+
+	root := c.tree.Root()
+	if c.status[root] != Head {
+		return fmt.Errorf("cnet: root %d is %v, not a head", root, c.status[root])
+	}
+
+	depth := c.tree.DepthMap()
+	for _, id := range c.tree.Nodes() {
+		s := c.status[id]
+		d := depth[id]
+		switch s {
+		case Head:
+			if d%2 != 0 {
+				return fmt.Errorf("cnet: head %d at odd depth %d", id, d)
+			}
+			if p, ok := c.tree.Parent(id); ok && c.status[p] != Gateway {
+				return fmt.Errorf("cnet: head %d has non-gateway parent %d (%v)", id, p, c.status[p])
+			}
+		case Gateway:
+			if d%2 != 1 {
+				return fmt.Errorf("cnet: gateway %d at even depth %d", id, d)
+			}
+			p, ok := c.tree.Parent(id)
+			if !ok || c.status[p] != Head {
+				return fmt.Errorf("cnet: gateway %d parent is not a head", id)
+			}
+			for _, ch := range c.tree.Children(id) {
+				if c.status[ch] != Head {
+					return fmt.Errorf("cnet: gateway %d has non-head child %d (%v)", id, ch, c.status[ch])
+				}
+				if !c.g.HasEdge(id, ch) {
+					return fmt.Errorf("cnet: gateway %d not adjacent to child head %d", id, ch)
+				}
+			}
+		case Member:
+			if d%2 != 1 {
+				return fmt.Errorf("cnet: member %d at even depth %d", id, d)
+			}
+			if !c.tree.IsLeaf(id) {
+				return fmt.Errorf("cnet: member %d is not a leaf", id)
+			}
+			p, ok := c.tree.Parent(id)
+			if !ok || c.status[p] != Head {
+				return fmt.Errorf("cnet: member %d parent is not a head", id)
+			}
+		default:
+			return fmt.Errorf("cnet: node %d has unknown status %v", id, s)
+		}
+	}
+
+	// Property 1(2): heads form an independent set of G.
+	heads := c.Heads()
+	if !graph.IsIndependentSet(c.g, heads) {
+		return fmt.Errorf("cnet: cluster heads are not independent in G")
+	}
+	return nil
+}
+
+// VerifyCliqueBound checks the consequence of Property 1(1): the number of
+// clusters (= heads, an independent set) can never exceed the size of any
+// clique cover of G; we compare against a greedy cover, which upper-bounds
+// nothing but is itself >= p, so #heads <= greedy must hold.
+func (c *CNet) VerifyCliqueBound() error {
+	heads := len(c.Heads())
+	cover := len(graph.CliqueCoverGreedy(c.g))
+	if heads > cover {
+		return fmt.Errorf("cnet: %d clusters exceed greedy clique cover of %d", heads, cover)
+	}
+	return nil
+}
+
+// Stats summarizes the structure for the paper's Figures 10 and 11.
+type Stats struct {
+	Nodes          int
+	Clusters       int // number of cluster heads
+	Gateways       int
+	Members        int
+	Height         int // height of CNet(G)
+	BackboneSize   int // |BT(G)|, Figure 10 "size of backbone"
+	BackboneHeight int // height of BT(G), Figure 10 "height of backbone"
+	DegreeG        int // D: max degree of G (Figure 11)
+	DegreeBT       int // d: max degree of G(V_BT) (Figure 11)
+}
+
+// ComputeStats gathers structural statistics.
+func (c *CNet) ComputeStats() Stats {
+	bt := c.Backbone()
+	return Stats{
+		Nodes:          c.Size(),
+		Clusters:       len(c.Heads()),
+		Gateways:       len(c.Gateways()),
+		Members:        len(c.Members()),
+		Height:         c.tree.Height(),
+		BackboneSize:   bt.Size(),
+		BackboneHeight: bt.Height(),
+		DegreeG:        c.g.MaxDegree(),
+		DegreeBT:       c.InducedBackboneGraph().MaxDegree(),
+	}
+}

@@ -1,0 +1,139 @@
+package expt
+
+import (
+	"fmt"
+
+	"dynsens/internal/core"
+	"dynsens/internal/discovery"
+	"dynsens/internal/graph"
+	"dynsens/internal/joinproto"
+	"dynsens/internal/stats"
+	"dynsens/internal/workload"
+)
+
+// Discovery measures the randomized neighbor-discovery handshake behind
+// node-move-in (Theorem 2's O(d_new) expected rounds): for each network
+// size, a node of known degree runs the decay protocol on the radio
+// engine and the measured rounds, collisions and completeness are
+// reported against its degree.
+func Discovery(p Params) (*stats.Table, error) {
+	t := stats.NewTable("Neighbor discovery — measured cost vs degree (Theorem 2 substrate)",
+		"nodes", "avg_degree", "rounds", "rounds_per_degree", "collisions", "complete")
+	for _, n := range p.Sizes {
+		var degs, rounds, colls, complete []float64
+		for _, seed := range p.seeds() {
+			d, err := workload.IncrementalConnected(workload.PaperConfig(seed, p.Side, n))
+			if err != nil {
+				return nil, err
+			}
+			g := d.Graph()
+			// Probe a few representative joiners per deployment.
+			for _, joiner := range []graph.NodeID{graph.NodeID(n / 4), graph.NodeID(n / 2), graph.NodeID(3 * n / 4)} {
+				if !g.HasNode(joiner) || g.Degree(joiner) == 0 {
+					continue
+				}
+				res, err := discovery.Run(g, joiner, discovery.Options{Seed: seed*101 + int64(joiner)})
+				if err != nil {
+					return nil, err
+				}
+				degs = append(degs, float64(g.Degree(joiner)))
+				rounds = append(rounds, float64(res.Rounds))
+				colls = append(colls, float64(res.Collisions))
+				if res.Complete {
+					complete = append(complete, 1)
+				} else {
+					complete = append(complete, 0)
+				}
+			}
+		}
+		dm, rm := mean(degs), mean(rounds)
+		t.AddRow(stats.F(float64(n)), stats.F(dm), stats.F(rm), ratio(rm, dm),
+			stats.F(mean(colls)), fmt.Sprintf("%.3f", mean(complete)))
+	}
+	return t, nil
+}
+
+// bootstrapCap bounds the sizes used by the Bootstrap experiment: every
+// node's join runs a full discovery episode on the engine, so paper-scale
+// sweeps would dominate the harness runtime.
+const bootstrapCap = 120
+
+// BootstrapExp measures complete self-construction through the
+// message-level protocol: total over-the-air rounds to build the network
+// node by node (Section 5's first construction method, end to end),
+// versus the gossip alternative's 2n.
+func BootstrapExp(p Params) (*stats.Table, error) {
+	t := stats.NewTable("Protocol self-construction (message-level, sizes capped)",
+		"nodes", "total_rounds", "rounds_per_node", "incomplete_discoveries", "gossip_2n")
+	seen := make(map[int]bool)
+	var sizes []int
+	for _, n := range p.Sizes {
+		if n > bootstrapCap {
+			n = bootstrapCap
+		}
+		if !seen[n] {
+			seen[n] = true
+			sizes = append(sizes, n)
+		}
+	}
+	for _, n := range sizes {
+		var total, perNode, inc []float64
+		for _, seed := range p.seeds() {
+			d, err := workload.IncrementalConnected(workload.PaperConfig(seed, p.Side, n))
+			if err != nil {
+				return nil, err
+			}
+			res, err := joinproto.Bootstrap(d, core.Config{}, seed*5)
+			if err != nil {
+				return nil, err
+			}
+			total = append(total, float64(res.TotalRounds))
+			perNode = append(perNode, float64(res.TotalRounds)/float64(n-1))
+			inc = append(inc, float64(res.IncompleteDiscoveries))
+		}
+		t.AddRow(stats.F(float64(n)), stats.F(mean(total)), stats.F(mean(perNode)),
+			stats.F(mean(inc)), stats.F(float64(2*n)))
+	}
+	return t, nil
+}
+
+// JoinProtocol measures the complete message-level node-move-in (Theorem
+// 2) per phase: discovery, knowledge queries, attach handshake, slot
+// maintenance and height reports — all in rounds, against the joiner's
+// degree and the 2h+2d+D knowledge-(II) bound.
+func JoinProtocol(p Params) (*stats.Table, error) {
+	t := stats.NewTable("Message-level node-move-in, per-phase rounds (Theorem 2)",
+		"nodes", "degree", "discover", "query", "attach", "slots", "height", "total", "bound_2h+2d+D")
+	for _, n := range p.Sizes {
+		var degs, disc, query, attach, slots, height, total, bounds []float64
+		for _, seed := range p.seeds() {
+			d, err := workload.IncrementalConnected(workload.PaperConfig(seed, p.Side, n))
+			if err != nil {
+				return nil, err
+			}
+			net, err := core.Build(d.Graph(), core.Config{})
+			if err != nil {
+				return nil, err
+			}
+			anchor := graph.NodeID(n / 2)
+			nbrs := append([]graph.NodeID{anchor}, net.Graph().Neighbors(anchor)...)
+			res, err := joinproto.Join(net, graph.NodeID(n+1000), nbrs, seed*3)
+			if err != nil {
+				return nil, err
+			}
+			st := net.Stats()
+			degs = append(degs, float64(len(nbrs)))
+			disc = append(disc, float64(res.DiscoveryRounds))
+			query = append(query, float64(res.QueryRounds))
+			attach = append(attach, float64(res.AttachRounds))
+			slots = append(slots, float64(res.SlotRounds))
+			height = append(height, float64(res.HeightRounds))
+			total = append(total, float64(res.TotalRounds()))
+			bounds = append(bounds, float64(2*st.Height+2*st.DegreeBT+st.DegreeG))
+		}
+		t.AddRow(stats.F(float64(n)), stats.F(mean(degs)), stats.F(mean(disc)),
+			stats.F(mean(query)), stats.F(mean(attach)), stats.F(mean(slots)),
+			stats.F(mean(height)), stats.F(mean(total)), stats.F(mean(bounds)))
+	}
+	return t, nil
+}

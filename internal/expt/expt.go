@@ -1,0 +1,168 @@
+// Package expt defines one reproducible experiment per figure of the
+// paper's evaluation (Section 6) plus the claims made in the text
+// (multi-channel speedup, multicast pruning, robustness, reconfiguration
+// cost, Lemma 3 bounds) and two ablations. Each experiment sweeps network
+// sizes over several seeds, runs the protocols on the radio engine, and
+// returns a text table whose rows are the series the paper plots.
+//
+// The paper's setup: square regions of 8x8, 10x10 and 12x12 units (1 unit
+// = 100 m), communication range 50 m, node counts from 64 to 720; the
+// published curves use the 10x10 region. Absolute values depend on the
+// authors' unavailable simulator; the reproduction target is the shape of
+// each curve (see EXPERIMENTS.md).
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dynsens/internal/broadcast"
+	"dynsens/internal/core"
+	"dynsens/internal/graph"
+	"dynsens/internal/stats"
+	"dynsens/internal/workload"
+)
+
+// Params control a sweep.
+type Params struct {
+	// Side is the region side in 100 m units (paper: 8, 10 or 12).
+	Side int
+	// Sizes are the node counts on the x axis.
+	Sizes []int
+	// Seeds is the number of deployments averaged per point.
+	Seeds int
+	// BaseSeed offsets the deployment seeds.
+	BaseSeed int64
+	// Workers bounds the number of (size, seed) points simulated
+	// concurrently; 0 means GOMAXPROCS. Every point is an independent
+	// seeded simulation, so parallel execution is deterministic: results
+	// are aggregated by point, not by arrival order.
+	Workers int
+}
+
+func (p Params) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Default returns the paper's published configuration: the 10x10 region
+// with 100..500 nodes, 5 seeds per point.
+func Default() Params {
+	return Params{Side: 10, Sizes: []int{100, 200, 300, 400, 500}, Seeds: 5, BaseSeed: 1}
+}
+
+// Quick returns a fast configuration for tests and smoke runs.
+func Quick() Params {
+	return Params{Side: 8, Sizes: []int{40, 80}, Seeds: 2, BaseSeed: 1}
+}
+
+func (p Params) seeds() []int64 {
+	out := make([]int64, p.Seeds)
+	for i := range out {
+		out[i] = p.BaseSeed + int64(i)*7919
+	}
+	return out
+}
+
+// buildNet constructs a verified network for one (size, seed) point.
+func buildNet(p Params, n int, seed int64) (*core.Network, error) {
+	d, err := workload.IncrementalConnected(workload.PaperConfig(seed, p.Side, n))
+	if err != nil {
+		return nil, err
+	}
+	net, err := core.Build(d.Graph(), core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Verify(); err != nil {
+		return nil, fmt.Errorf("expt: invariant violation (n=%d seed=%d): %w", n, seed, err)
+	}
+	return net, nil
+}
+
+// forEachPoint runs fn for every (size, seed) pair — in parallel up to
+// Params.Workers — and collects per-size sample maps keyed by metric name.
+// Samples within a size are ordered by seed index regardless of completion
+// order, so parallel and serial runs produce identical tables.
+func forEachPoint(p Params, fn func(net *core.Network, n int, seed int64) (map[string]float64, error)) (map[int]map[string][]float64, error) {
+	type point struct {
+		n    int
+		si   int
+		seed int64
+	}
+	var points []point
+	seeds := p.seeds()
+	for _, n := range p.Sizes {
+		for si, seed := range seeds {
+			points = append(points, point{n: n, si: si, seed: seed})
+		}
+	}
+
+	results := make([]map[string]float64, len(points))
+	errs := make([]error, len(points))
+	sem := make(chan struct{}, p.workers())
+	var wg sync.WaitGroup
+	for i, pt := range points {
+		wg.Add(1)
+		go func(i int, pt point) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			net, err := buildNet(p, pt.n, pt.seed)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = fn(net, pt.n, pt.seed)
+		}(i, pt)
+	}
+	wg.Wait()
+
+	out := make(map[int]map[string][]float64, len(p.Sizes))
+	for _, n := range p.Sizes {
+		out[n] = make(map[string][]float64)
+	}
+	for i, pt := range points {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		for k, v := range results[i] {
+			out[pt.n][k] = append(out[pt.n][k], v)
+		}
+	}
+	return out, nil
+}
+
+func mean(xs []float64) float64 { return stats.Summarize(xs).Mean }
+
+// safeLeaveCandidate returns a non-root node whose removal keeps the graph
+// connected, preferring high IDs (recently joined), or ok=false.
+func safeLeaveCandidate(net *core.Network) (graph.NodeID, bool) {
+	nodes := net.CNet().Tree().Nodes()
+	for i := len(nodes) - 1; i >= 0; i-- {
+		id := nodes[i]
+		if id == net.Root() {
+			continue
+		}
+		res := net.Graph().Clone()
+		res.RemoveNode(id)
+		if res.Connected() {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// runBoth executes ICFF and DFO broadcasts from the root with the given
+// options and returns both metrics.
+func runBoth(net *core.Network, opts broadcast.Options) (icff, dfo broadcast.Metrics, err error) {
+	icff, err = net.Broadcast(net.Root(), opts)
+	if err != nil {
+		return
+	}
+	dfo, err = net.BroadcastDFO(net.Root(), opts)
+	return
+}

@@ -1,0 +1,184 @@
+package expt
+
+import (
+	"dynsens/internal/broadcast"
+	"dynsens/internal/core"
+	"dynsens/internal/stats"
+)
+
+// Fig8 reproduces Figure 8: rounds needed to complete a CFF broadcast
+// (our Algorithm 2 implementation) versus the DFO broadcast of [19], as a
+// function of network size. The paper shows DFO growing linearly to ~600
+// rounds at 500 nodes while CFF stays far below.
+func Fig8(p Params) (*stats.Table, error) {
+	data, err := forEachPoint(p, func(net *core.Network, n int, seed int64) (map[string]float64, error) {
+		icff, dfo, err := runBoth(net, broadcast.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if !icff.Completed || !dfo.Completed {
+			return nil, errIncomplete("Fig8", n, seed, icff, dfo)
+		}
+		return map[string]float64{
+			"cff":       float64(icff.CompletionRound),
+			"cff_sched": float64(icff.ScheduleLen),
+			"dfo":       float64(dfo.CompletionRound),
+			"dfo_sched": float64(dfo.ScheduleLen),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig. 8 — broadcast completion rounds (CFF vs DFO)",
+		"nodes", "cff_rounds", "dfo_rounds", "cff_sched", "dfo_sched", "speedup")
+	for _, n := range p.Sizes {
+		d := data[n]
+		c, f := mean(d["cff"]), mean(d["dfo"])
+		t.AddRow(stats.F(float64(n)), stats.F(c), stats.F(f),
+			stats.F(mean(d["cff_sched"])), stats.F(mean(d["dfo_sched"])),
+			stats.F(f/c))
+	}
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: the number of rounds a node must stay awake
+// during a broadcast. For DFO every node is awake for the whole tour; for
+// CFF the maximum over nodes is bounded by 2*delta + Delta.
+func Fig9(p Params) (*stats.Table, error) {
+	data, err := forEachPoint(p, func(net *core.Network, n int, seed int64) (map[string]float64, error) {
+		icff, dfo, err := runBoth(net, broadcast.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if !icff.Completed || !dfo.Completed {
+			return nil, errIncomplete("Fig9", n, seed, icff, dfo)
+		}
+		var cffAwake []int
+		for _, v := range icff.Awake {
+			cffAwake = append(cffAwake, v)
+		}
+		return map[string]float64{
+			"cff_max":  float64(icff.MaxAwake),
+			"cff_mean": icff.MeanAwake,
+			"cff_p95":  stats.PercentileInts(cffAwake, 95),
+			"dfo_max":  float64(dfo.MaxAwake),
+			"dfo_mean": dfo.MeanAwake,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig. 9 — rounds a node must be awake (CFF vs DFO)",
+		"nodes", "cff_max", "cff_p95", "cff_mean", "dfo_max", "dfo_mean", "saving")
+	for _, n := range p.Sizes {
+		d := data[n]
+		cm, fm := mean(d["cff_max"]), mean(d["dfo_max"])
+		t.AddRow(stats.F(float64(n)), stats.F(cm), stats.F(mean(d["cff_p95"])),
+			stats.F(mean(d["cff_mean"])),
+			stats.F(fm), stats.F(mean(d["dfo_mean"])), stats.F(fm/cm))
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: average size and height of the backbone
+// BT(G). The paper shows size growing to ~140 at 500 nodes with height far
+// below it.
+func Fig10(p Params) (*stats.Table, error) {
+	data, err := forEachPoint(p, func(net *core.Network, n int, seed int64) (map[string]float64, error) {
+		st := net.Stats()
+		return map[string]float64{
+			"size":   float64(st.BackboneSize),
+			"height": float64(st.BackboneHeight),
+			"heads":  float64(st.Clusters),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig. 10 — backbone size and height",
+		"nodes", "bt_size", "bt_height", "clusters")
+	for _, n := range p.Sizes {
+		d := data[n]
+		t.AddRow(stats.F(float64(n)), stats.F(mean(d["size"])),
+			stats.F(mean(d["height"])), stats.F(mean(d["heads"])))
+	}
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: D (max degree of G), d (max degree of
+// G(V_BT)), Delta (largest l-time-slot) and delta (largest b-time-slot).
+// Section 6 observes Delta < D and delta < d in simulation, far below the
+// Lemma 3 worst cases.
+func Fig11(p Params) (*stats.Table, error) {
+	data, err := forEachPoint(p, func(net *core.Network, n int, seed int64) (map[string]float64, error) {
+		st := net.Stats()
+		return map[string]float64{
+			"D":     float64(st.DegreeG),
+			"d":     float64(st.DegreeBT),
+			"Delta": float64(st.Delta),
+			"delta": float64(st.SmallDelta),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig. 11 — degrees and largest time-slots",
+		"nodes", "D", "d", "Delta", "delta")
+	for _, n := range p.Sizes {
+		d := data[n]
+		t.AddRow(stats.F(float64(n)), stats.F(mean(d["D"])), stats.F(mean(d["d"])),
+			stats.F(mean(d["Delta"])), stats.F(mean(d["delta"])))
+	}
+	return t, nil
+}
+
+// BoundsCheck validates Lemma 3 numerically: the measured delta and Delta
+// against their proven bounds d(d+1)/2+1 and D(D+1)/2+1, reporting the
+// measured/bound ratio (Section 4 predicts roughly one quarter; Section 6
+// observes even less).
+func BoundsCheck(p Params) (*stats.Table, error) {
+	data, err := forEachPoint(p, func(net *core.Network, n int, seed int64) (map[string]float64, error) {
+		st := net.Stats()
+		return map[string]float64{
+			"Delta":  float64(st.Delta),
+			"boundL": float64(st.BoundL),
+			"delta":  float64(st.SmallDelta),
+			"boundB": float64(st.BoundB),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Lemma 3 — measured slots vs proven bounds",
+		"nodes", "Delta", "bound_L", "ratio_L", "delta", "bound_B", "ratio_B")
+	for _, n := range p.Sizes {
+		d := data[n]
+		dl, bl := mean(d["Delta"]), mean(d["boundL"])
+		db, bb := mean(d["delta"]), mean(d["boundB"])
+		t.AddRow(stats.F(float64(n)), stats.F(dl), stats.F(bl), ratio(dl, bl),
+			stats.F(db), stats.F(bb), ratio(db, bb))
+	}
+	return t, nil
+}
+
+func ratio(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return stats.F(a / b)
+}
+
+type incompleteErr struct {
+	where string
+	n     int
+	seed  int64
+	a, b  broadcast.Metrics
+}
+
+func (e incompleteErr) Error() string {
+	return e.where + ": incomplete broadcast (n=" + stats.F(float64(e.n)) + "): " + e.a.String() + " / " + e.b.String()
+}
+
+func errIncomplete(where string, n int, seed int64, a, b broadcast.Metrics) error {
+	return incompleteErr{where: where, n: n, seed: seed, a: a, b: b}
+}

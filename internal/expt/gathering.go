@@ -1,0 +1,52 @@
+package expt
+
+import (
+	"dynsens/internal/core"
+	"dynsens/internal/gather"
+	"dynsens/internal/graph"
+	"dynsens/internal/stats"
+)
+
+// Gathering measures the convergecast extension (the data-gathering
+// pattern the paper's introduction motivates): exactness, rounds and
+// awake costs on the cluster structure, per network size.
+func Gathering(p Params) (*stats.Table, error) {
+	data, err := forEachPoint(p, func(net *core.Network, n int, seed int64) (map[string]float64, error) {
+		values := make(map[graph.NodeID]int64, n)
+		for _, id := range net.CNet().Tree().Nodes() {
+			values[id] = int64(id) + 1
+		}
+		m, err := net.Gather(values, gather.Options{})
+		if err != nil {
+			return nil, err
+		}
+		exact := 0.0
+		if m.Complete() && m.Sum == m.Expected {
+			exact = 1
+		}
+		return map[string]float64{
+			"rounds": float64(m.Rounds),
+			"W":      float64(m.ScheduleLen / max1(net.CNet().Tree().Height())),
+			"awake":  float64(m.MaxAwake),
+			"exact":  exact,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Data gathering (convergecast) on the cluster structure",
+		"nodes", "rounds", "window_W", "max_awake", "exact_fraction")
+	for _, n := range p.Sizes {
+		d := data[n]
+		t.AddRow(stats.F(float64(n)), stats.F(mean(d["rounds"])), stats.F(mean(d["W"])),
+			stats.F(mean(d["awake"])), stats.F(mean(d["exact"])))
+	}
+	return t, nil
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,141 @@
+package expt
+
+import (
+	"fmt"
+
+	"dynsens/internal/broadcast"
+	"dynsens/internal/cnet"
+	"dynsens/internal/core"
+	"dynsens/internal/energy"
+	"dynsens/internal/graph"
+	"dynsens/internal/multinet"
+	"dynsens/internal/stats"
+	"dynsens/internal/workload"
+)
+
+// lifetimeCap bounds the reported epochs for protocols that idle.
+const lifetimeCap = 1 << 30
+
+// Lifetime quantifies the paper's "energy saving" claim as network
+// lifetime: with every node given the same battery and one broadcast per
+// dissemination epoch, how many epochs pass before the first node dies?
+// CFF nodes sleep through almost the whole epoch; DFO nodes idle-listen
+// for the entire tour, so their batteries drain tour-length times faster.
+func Lifetime(p Params, budget float64) (*stats.Table, error) {
+	if budget <= 0 {
+		budget = 1e5
+	}
+	model := energy.DefaultModel()
+	data, err := forEachPoint(p, func(net *core.Network, n int, seed int64) (map[string]float64, error) {
+		icff, dfo, err := runBoth(net, broadcast.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if !icff.Completed || !dfo.Completed {
+			return nil, errIncomplete("Lifetime", n, seed, icff, dfo)
+		}
+		// An epoch lasts as long as the slower protocol needs, so both
+		// protocols are compared over identical epoch lengths (the CFF
+		// nodes spend the remainder asleep).
+		epoch := icff.ScheduleLen
+		if dfo.ScheduleLen > epoch {
+			epoch = dfo.ScheduleLen
+		}
+		cffLife, _ := energy.Lifetime(model, budget, icff.Listens, icff.Transmits, epoch, lifetimeCap)
+		dfoLife, _ := energy.Lifetime(model, budget, dfo.Listens, dfo.Transmits, epoch, lifetimeCap)
+		return map[string]float64{
+			"cff": float64(cffLife),
+			"dfo": float64(dfoLife),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(fmt.Sprintf("Network lifetime (budget %.0f units, 1 broadcast/epoch)", budget),
+		"nodes", "cff_epochs", "dfo_epochs", "extension")
+	for _, n := range p.Sizes {
+		d := data[n]
+		c, f := mean(d["cff"]), mean(d["dfo"])
+		t.AddRow(stats.F(float64(n)), stats.F(c), stats.F(f), ratio(c, f))
+	}
+	return t, nil
+}
+
+// Failover measures the Section 2 multi-sink sketch: with two cluster-nets
+// rooted at different sinks, a broadcast survives the death of the primary
+// sink by retrying on the secondary. Rows compare single-net and dual-net
+// delivery when the primary sink dies at round 1.
+func Failover(p Params) (*stats.Table, error) {
+	n := p.Sizes[len(p.Sizes)-1]
+	t := stats.NewTable(fmt.Sprintf("Multi-sink failover (n=%d, primary sink dies)", n),
+		"scenario", "delivery", "attempts", "total_rounds")
+	var single, dual, attempts, rounds []float64
+	for _, seed := range p.seeds() {
+		d, err := workload.IncrementalConnected(workload.PaperConfig(seed, p.Side, n))
+		if err != nil {
+			return nil, err
+		}
+		g := d.Graph()
+		secondary := graph.NodeID(n / 2)
+		if secondary == 0 {
+			secondary = 1
+		}
+		m, err := multinet.Build(g, []graph.NodeID{0, secondary}, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		source := graph.NodeID(n - 1)
+		opts := broadcast.Options{Failures: []broadcast.NodeFailure{{Node: 0, Round: 1}}}
+
+		// Single cluster-net: no fallback.
+		solo, err := m.Nets()[0].Broadcast(source, opts)
+		if err != nil {
+			return nil, err
+		}
+		single = append(single, solo.DeliveryRatio())
+
+		// Dual cluster-net with failover.
+		res, err := m.Broadcast(source, opts)
+		if err != nil {
+			return nil, err
+		}
+		dual = append(dual, res.Final().DeliveryRatio())
+		attempts = append(attempts, float64(len(res.Attempts)))
+		rounds = append(rounds, float64(res.TotalRounds))
+	}
+	t.AddRow("single-sink", fmt.Sprintf("%.3f", mean(single)), "1", "-")
+	t.AddRow("dual-sink", fmt.Sprintf("%.3f", mean(dual)),
+		stats.F(mean(attempts)), stats.F(mean(rounds)))
+	return t, nil
+}
+
+// Construction compares the two Section 5 construction methods: node-by-
+// node move-in (cost grows with total degrees and heights) versus gossip-
+// then-local-computation (O(n) rounds flat).
+func Construction(p Params) (*stats.Table, error) {
+	t := stats.NewTable("Construction cost — incremental move-in vs gossip (Section 5)",
+		"nodes", "movein_rounds", "movein_slot_rounds", "gossip_rounds")
+	for _, n := range p.Sizes {
+		var inc, slot, gos []float64
+		for _, seed := range p.seeds() {
+			d, err := workload.IncrementalConnected(workload.PaperConfig(seed, p.Side, n))
+			if err != nil {
+				return nil, err
+			}
+			net, err := core.Build(d.Graph(), core.Config{})
+			if err != nil {
+				return nil, err
+			}
+			st := net.Stats()
+			inc = append(inc, float64(st.StructuralRounds))
+			slot = append(slot, float64(st.SlotRounds))
+			_, gcost, err := cnet.BuildByGossip(d.Graph(), 0, nil)
+			if err != nil {
+				return nil, err
+			}
+			gos = append(gos, float64(gcost.Total()))
+		}
+		t.AddRow(stats.F(float64(n)), stats.F(mean(inc)), stats.F(mean(slot)), stats.F(mean(gos)))
+	}
+	return t, nil
+}

@@ -1,0 +1,73 @@
+package expt
+
+import (
+	"fmt"
+
+	"dynsens/internal/broadcast"
+	"dynsens/internal/cnet"
+	"dynsens/internal/core"
+	"dynsens/internal/graph"
+	"dynsens/internal/stats"
+	"dynsens/internal/workload"
+)
+
+// PolicyAblation studies the parent-selection hook Definition 1 leaves to
+// the application ("based on the criteria an application needs, such as on
+// energy level"): lowest ID (the deterministic default), highest degree
+// (prefer well-connected parents) and lowest degree. Rows report the
+// structural and protocol consequences at the largest configured size.
+func PolicyAblation(p Params) (*stats.Table, error) {
+	n := p.Sizes[len(p.Sizes)-1]
+	t := stats.NewTable(fmt.Sprintf("Parent-policy ablation (n=%d)", n),
+		"policy", "clusters", "bt_size", "height", "Delta", "cff_rounds")
+	type row struct{ clusters, bt, height, delta, rounds []float64 }
+	rows := map[string]*row{"lowest-id": {}, "max-degree": {}, "min-degree": {}}
+	order := []string{"lowest-id", "max-degree", "min-degree"}
+	for _, seed := range p.seeds() {
+		d, err := workload.IncrementalConnected(workload.PaperConfig(seed, p.Side, n))
+		if err != nil {
+			return nil, err
+		}
+		g := d.Graph()
+		degVal := make(map[graph.NodeID]float64, n)
+		negVal := make(map[graph.NodeID]float64, n)
+		for _, id := range g.Nodes() {
+			degVal[id] = float64(g.Degree(id))
+			negVal[id] = -float64(g.Degree(id))
+		}
+		policies := map[string]cnet.Policy{
+			"lowest-id":  nil,
+			"max-degree": cnet.MaxValue(degVal),
+			"min-degree": cnet.MaxValue(negVal),
+		}
+		for name, pol := range policies {
+			net, err := core.Build(g, core.Config{Policy: pol})
+			if err != nil {
+				return nil, err
+			}
+			if err := net.Verify(); err != nil {
+				return nil, fmt.Errorf("policy %s: %w", name, err)
+			}
+			m, err := net.Broadcast(net.Root(), broadcast.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if !m.Completed {
+				return nil, fmt.Errorf("policy %s: broadcast incomplete", name)
+			}
+			st := net.Stats()
+			r := rows[name]
+			r.clusters = append(r.clusters, float64(st.Clusters))
+			r.bt = append(r.bt, float64(st.BackboneSize))
+			r.height = append(r.height, float64(st.Height))
+			r.delta = append(r.delta, float64(st.Delta))
+			r.rounds = append(r.rounds, float64(m.CompletionRound))
+		}
+	}
+	for _, name := range order {
+		r := rows[name]
+		t.AddRow(name, stats.F(mean(r.clusters)), stats.F(mean(r.bt)),
+			stats.F(mean(r.height)), stats.F(mean(r.delta)), stats.F(mean(r.rounds)))
+	}
+	return t, nil
+}

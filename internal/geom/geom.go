@@ -1,0 +1,129 @@
+// Package geom provides the planar geometry behind the paper's simulation
+// setup: sensor positions in a rectangular deployment region, unit-disk
+// adjacency at a given communication range, and conversions to graphs.
+//
+// The paper deploys nodes on squares of 8x8, 10x10 and 12x12 "units" where a
+// unit is 100 meters, with a communication range of 50 meters. All distances
+// here are in meters.
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"dynsens/internal/graph"
+)
+
+// Point is a position in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// InRange reports whether q is within communication range r of p.
+// The boundary counts as in range, matching the unit-disk-graph convention
+// "distance not larger than one unit".
+func (p Point) InRange(q Point, r float64) bool {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx+dy*dy <= r*r
+}
+
+// Region is an axis-aligned rectangular deployment area with its lower-left
+// corner at the origin.
+type Region struct {
+	Width, Height float64 // meters
+}
+
+// SquareUnits returns the paper's deployment region of side*side units with
+// the given meters-per-unit scale (the paper uses 100 m units).
+func SquareUnits(side int, metersPerUnit float64) Region {
+	s := float64(side) * metersPerUnit
+	return Region{Width: s, Height: s}
+}
+
+// Contains reports whether p lies inside the region (boundary inclusive).
+func (r Region) Contains(p Point) bool {
+	return p.X >= 0 && p.Y >= 0 && p.X <= r.Width && p.Y <= r.Height
+}
+
+// Area returns the region's area in square meters.
+func (r Region) Area() float64 { return r.Width * r.Height }
+
+// Deployment is a set of positioned nodes. Node i has ID graph.NodeID(i).
+type Deployment struct {
+	Region Region
+	Range  float64 // communication range in meters
+	Pos    []Point // Pos[i] is the position of node i
+}
+
+// NumNodes returns the number of deployed nodes.
+func (d *Deployment) NumNodes() int { return len(d.Pos) }
+
+// Graph builds the unit-disk graph of the deployment: nodes u, v share an
+// edge iff their distance is at most d.Range.
+func (d *Deployment) Graph() *graph.Graph {
+	g := graph.New()
+	for i := range d.Pos {
+		g.AddNode(graph.NodeID(i))
+	}
+	for i := range d.Pos {
+		for j := i + 1; j < len(d.Pos); j++ {
+			if d.Pos[i].InRange(d.Pos[j], d.Range) {
+				_ = g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+// NeighborsOf returns the indices of nodes within range of position p,
+// excluding index self (pass -1 to exclude nothing).
+func (d *Deployment) NeighborsOf(p Point, self int) []int {
+	var out []int
+	for i, q := range d.Pos {
+		if i == self {
+			continue
+		}
+		if p.InRange(q, d.Range) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Validate checks that all nodes lie inside the region and that the range
+// is positive.
+func (d *Deployment) Validate() error {
+	if d.Range <= 0 {
+		return fmt.Errorf("geom: non-positive range %v", d.Range)
+	}
+	for i, p := range d.Pos {
+		if !d.Region.Contains(p) {
+			return fmt.Errorf("geom: node %d at %v outside region %vx%v",
+				i, p, d.Region.Width, d.Region.Height)
+		}
+	}
+	return nil
+}
+
+// IsUnitDiskGraph verifies that g is exactly the unit-disk graph of the
+// deployment (used as a test invariant).
+func (d *Deployment) IsUnitDiskGraph(g *graph.Graph) bool {
+	if g.NumNodes() != len(d.Pos) {
+		return false
+	}
+	for i := range d.Pos {
+		for j := i + 1; j < len(d.Pos); j++ {
+			inRange := d.Pos[i].InRange(d.Pos[j], d.Range)
+			if inRange != g.HasEdge(graph.NodeID(i), graph.NodeID(j)) {
+				return false
+			}
+		}
+	}
+	return true
+}

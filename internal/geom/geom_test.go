@@ -1,0 +1,147 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynsens/internal/graph"
+)
+
+func TestDist(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{3, 4}
+	if d := a.Dist(b); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("Dist = %v", d)
+	}
+	if d := a.Dist(a); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+}
+
+func TestInRangeBoundaryInclusive(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{50, 0}
+	if !a.InRange(b, 50) {
+		t.Fatal("boundary should be in range")
+	}
+	if a.InRange(Point{50.0001, 0}, 50) {
+		t.Fatal("beyond boundary should be out of range")
+	}
+}
+
+func TestSquareUnits(t *testing.T) {
+	r := SquareUnits(10, 100)
+	if r.Width != 1000 || r.Height != 1000 {
+		t.Fatalf("region = %+v", r)
+	}
+	if r.Area() != 1e6 {
+		t.Fatalf("area = %v", r.Area())
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{100, 50}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{100, 50}, true},
+		{Point{50, 25}, true},
+		{Point{-0.1, 10}, false},
+		{Point{10, 50.1}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Fatalf("Contains(%v) = %v", c.p, got)
+		}
+	}
+}
+
+func TestDeploymentGraph(t *testing.T) {
+	d := &Deployment{
+		Region: Region{100, 100},
+		Range:  10,
+		Pos:    []Point{{0, 0}, {5, 0}, {14, 0}, {50, 50}},
+	}
+	g := d.Graph()
+	if g.NumNodes() != 4 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("missing expected edges")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(2, 3) {
+		t.Fatal("unexpected edges")
+	}
+	if !d.IsUnitDiskGraph(g) {
+		t.Fatal("IsUnitDiskGraph rejected its own graph")
+	}
+	g.RemoveEdge(0, 1)
+	if d.IsUnitDiskGraph(g) {
+		t.Fatal("IsUnitDiskGraph accepted a mutated graph")
+	}
+}
+
+func TestNeighborsOf(t *testing.T) {
+	d := &Deployment{
+		Region: Region{100, 100},
+		Range:  10,
+		Pos:    []Point{{0, 0}, {5, 0}, {50, 50}},
+	}
+	nbrs := d.NeighborsOf(Point{1, 0}, -1)
+	if len(nbrs) != 2 || nbrs[0] != 0 || nbrs[1] != 1 {
+		t.Fatalf("NeighborsOf = %v", nbrs)
+	}
+	nbrs = d.NeighborsOf(d.Pos[0], 0)
+	if len(nbrs) != 1 || nbrs[0] != 1 {
+		t.Fatalf("NeighborsOf excluding self = %v", nbrs)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := &Deployment{Region: Region{10, 10}, Range: 1, Pos: []Point{{5, 5}}}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d.Pos = append(d.Pos, Point{11, 5})
+	if err := d.Validate(); err == nil {
+		t.Fatal("out-of-region node accepted")
+	}
+	d2 := &Deployment{Region: Region{10, 10}, Range: 0}
+	if err := d2.Validate(); err == nil {
+		t.Fatal("zero range accepted")
+	}
+}
+
+// Property: the deployment graph is symmetric in distance — it equals the
+// graph recomputed after shuffling insertion order, and edge membership
+// matches the distance predicate exactly.
+func TestUDGProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		rng := rand.New(rand.NewSource(seed))
+		d := &Deployment{Region: Region{100, 100}, Range: 15}
+		for i := 0; i < n; i++ {
+			d.Pos = append(d.Pos, Point{rng.Float64() * 100, rng.Float64() * 100})
+		}
+		g := d.Graph()
+		if !d.IsUnitDiskGraph(g) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				want := d.Pos[i].Dist(d.Pos[j]) <= d.Range+1e-12
+				if g.HasEdge(graph.NodeID(i), graph.NodeID(j)) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package graph
+
+import "sort"
+
+// IsDominatingSet reports whether set dominates g: every node is in set or
+// adjacent to a member of set.
+func IsDominatingSet(g *Graph, set []NodeID) bool {
+	in := make(map[NodeID]struct{}, len(set))
+	for _, id := range set {
+		if !g.HasNode(id) {
+			return false
+		}
+		in[id] = struct{}{}
+	}
+	for _, id := range g.Nodes() {
+		if _, ok := in[id]; ok {
+			continue
+		}
+		dominated := false
+		for _, n := range g.Neighbors(id) {
+			if _, ok := in[n]; ok {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyDominatingSet returns a dominating set via the standard greedy
+// heuristic (repeatedly pick the node covering the most uncovered nodes,
+// ties broken by smallest ID). Its size upper-bounds |MDS| within a
+// logarithmic factor; it is used to sanity-check the paper's Property 1(3)
+// bound #clusters <= 5*|MDS| on unit-disk graphs.
+func GreedyDominatingSet(g *Graph) []NodeID {
+	uncovered := make(map[NodeID]struct{}, g.NumNodes())
+	for _, id := range g.Nodes() {
+		uncovered[id] = struct{}{}
+	}
+	var set []NodeID
+	for len(uncovered) > 0 {
+		best := NodeID(0)
+		bestGain := -1
+		for _, id := range g.Nodes() {
+			gain := 0
+			if _, ok := uncovered[id]; ok {
+				gain++
+			}
+			for _, n := range g.Neighbors(id) {
+				if _, ok := uncovered[n]; ok {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && id < best) {
+				best, bestGain = id, gain
+			}
+		}
+		if bestGain <= 0 {
+			break // isolated leftovers are impossible: each covers itself
+		}
+		set = append(set, best)
+		delete(uncovered, best)
+		for _, n := range g.Neighbors(best) {
+			delete(uncovered, n)
+		}
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	return set
+}
+
+// IsIndependentSet reports whether no two members of set are adjacent.
+func IsIndependentSet(g *Graph, set []NodeID) bool {
+	for i, u := range set {
+		if !g.HasNode(u) {
+			return false
+		}
+		for _, v := range set[i+1:] {
+			if g.HasEdge(u, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaximalIndependentSet returns the lexicographically greedy maximal
+// independent set (scan nodes in ascending ID; take a node if no smaller
+// taken node is adjacent). On any graph an MIS is also a dominating set.
+func MaximalIndependentSet(g *Graph) []NodeID {
+	taken := make(map[NodeID]struct{})
+	var set []NodeID
+	for _, id := range g.Nodes() {
+		ok := true
+		for _, n := range g.Neighbors(id) {
+			if _, t := taken[n]; t {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			taken[id] = struct{}{}
+			set = append(set, id)
+		}
+	}
+	return set
+}
+
+// CliqueCoverGreedy returns a greedy partition of the nodes into cliques
+// (each returned group is a complete subgraph of g) and hence an upper
+// bound on the paper's p, "the smallest number of complete sub-graphs in
+// G". Groups and members are deterministic.
+func CliqueCoverGreedy(g *Graph) [][]NodeID {
+	assigned := make(map[NodeID]struct{}, g.NumNodes())
+	var cover [][]NodeID
+	for _, seed := range g.Nodes() {
+		if _, ok := assigned[seed]; ok {
+			continue
+		}
+		clique := []NodeID{seed}
+		assigned[seed] = struct{}{}
+		for _, cand := range g.Neighbors(seed) {
+			if _, ok := assigned[cand]; ok {
+				continue
+			}
+			compatible := true
+			for _, m := range clique {
+				if !g.HasEdge(cand, m) {
+					compatible = false
+					break
+				}
+			}
+			if compatible {
+				clique = append(clique, cand)
+				assigned[cand] = struct{}{}
+			}
+		}
+		cover = append(cover, clique)
+	}
+	return cover
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyDominatingSetOnStar(t *testing.T) {
+	g := New()
+	for i := 1; i <= 6; i++ {
+		mustEdge(t, g, 0, NodeID(i))
+	}
+	ds := GreedyDominatingSet(g)
+	if len(ds) != 1 || ds[0] != 0 {
+		t.Fatalf("star dominating set = %v", ds)
+	}
+	if !IsDominatingSet(g, ds) {
+		t.Fatal("greedy set not dominating")
+	}
+}
+
+func TestIsDominatingSetRejects(t *testing.T) {
+	g := path(t, 5)
+	if IsDominatingSet(g, []NodeID{0}) {
+		t.Fatal("single endpoint dominates a P5?")
+	}
+	if !IsDominatingSet(g, []NodeID{1, 3}) {
+		t.Fatal("{1,3} should dominate P5")
+	}
+	if IsDominatingSet(g, []NodeID{1, 99}) {
+		t.Fatal("set containing absent node accepted")
+	}
+}
+
+func TestMISOnTriangle(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 0, 2)
+	mis := MaximalIndependentSet(g)
+	if len(mis) != 1 {
+		t.Fatalf("triangle MIS = %v", mis)
+	}
+	if !IsIndependentSet(g, mis) {
+		t.Fatal("MIS not independent")
+	}
+}
+
+func TestIsIndependentSet(t *testing.T) {
+	g := path(t, 4)
+	if !IsIndependentSet(g, []NodeID{0, 2}) {
+		t.Fatal("{0,2} independent in P4")
+	}
+	if IsIndependentSet(g, []NodeID{0, 1}) {
+		t.Fatal("{0,1} is an edge")
+	}
+	if IsIndependentSet(g, []NodeID{0, 77}) {
+		t.Fatal("absent member accepted")
+	}
+}
+
+func TestCliqueCoverOnCompleteGraph(t *testing.T) {
+	g := New()
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			mustEdge(t, g, NodeID(i), NodeID(j))
+		}
+	}
+	cover := CliqueCoverGreedy(g)
+	if len(cover) != 1 || len(cover[0]) != 5 {
+		t.Fatalf("K5 clique cover = %v", cover)
+	}
+}
+
+// Property: greedy dominating set always dominates; MIS is independent and
+// dominating; clique cover partitions the nodes into genuine cliques.
+func TestSetCoverProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(n, n, rng)
+		ds := GreedyDominatingSet(g)
+		if !IsDominatingSet(g, ds) {
+			return false
+		}
+		mis := MaximalIndependentSet(g)
+		if !IsIndependentSet(g, mis) || !IsDominatingSet(g, mis) {
+			return false
+		}
+		cover := CliqueCoverGreedy(g)
+		seen := make(map[NodeID]struct{})
+		for _, clique := range cover {
+			for i, u := range clique {
+				if _, dup := seen[u]; dup {
+					return false
+				}
+				seen[u] = struct{}{}
+				for _, v := range clique[i+1:] {
+					if !g.HasEdge(u, v) {
+						return false
+					}
+				}
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package graph
+
+import "testing"
+
+// FuzzTreeOps drives a Tree through arbitrary add-leaf / remove-leaf /
+// remove-subtree sequences decoded from fuzz bytes, validating structure
+// after every mutation and checking Euler-tour and depth invariants.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0xF0, 3, 0xE0})
+	f.Add([]byte{5, 5, 5, 5, 0xF1, 0xF2})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		tr := NewTree(0)
+		next := NodeID(1)
+		for _, op := range ops {
+			switch {
+			case op < 0xE0:
+				nodes := tr.Nodes()
+				parent := nodes[int(op)%len(nodes)]
+				if err := tr.AddChild(next, parent); err != nil {
+					t.Fatalf("AddChild: %v", err)
+				}
+				next++
+			case op < 0xF0:
+				leaves := tr.Leaves()
+				if len(leaves) == 0 || (len(leaves) == 1 && leaves[0] == tr.Root()) {
+					continue
+				}
+				victim := leaves[int(op)%len(leaves)]
+				if victim == tr.Root() {
+					continue
+				}
+				if err := tr.RemoveLeaf(victim); err != nil {
+					t.Fatalf("RemoveLeaf: %v", err)
+				}
+			default:
+				nodes := tr.Nodes()
+				victim := nodes[int(op)%len(nodes)]
+				if victim == tr.Root() {
+					continue
+				}
+				if _, err := tr.RemoveSubtree(victim); err != nil {
+					t.Fatalf("RemoveSubtree: %v", err)
+				}
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			// Euler tour covers the tree with 2(n-1)+1 steps.
+			tour := tr.EulerTour(tr.Root())
+			if len(tour) != 2*(tr.Size()-1)+1 {
+				t.Fatalf("tour length %d for size %d", len(tour), tr.Size())
+			}
+			// DepthMap consistent with Height.
+			maxD := 0
+			for _, d := range tr.DepthMap() {
+				if d > maxD {
+					maxD = d
+				}
+			}
+			if maxD != tr.Height() {
+				t.Fatalf("height %d vs max depth %d", tr.Height(), maxD)
+			}
+		}
+	})
+}

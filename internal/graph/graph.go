@@ -1,0 +1,296 @@
+// Package graph provides the undirected-graph and rooted-tree machinery the
+// cluster-based network structure is built on: adjacency bookkeeping,
+// traversals, connectivity, tree utilities (including Euler tours, used by
+// the depth-first-order broadcast baseline and by node-move-out), and the
+// dominating-set / independent-set helpers used to verify Property 1 of the
+// paper.
+//
+// All iteration orders are deterministic (ascending node ID) so that
+// simulations are reproducible run to run.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are application-chosen and need not be dense.
+type NodeID int
+
+// Graph is a simple undirected graph without self-loops or parallel edges.
+// The zero value is not usable; call New.
+type Graph struct {
+	adj   map[NodeID]map[NodeID]struct{}
+	edges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[NodeID]map[NodeID]struct{})}
+}
+
+// AddNode inserts an isolated node. Adding an existing node is a no-op.
+func (g *Graph) AddNode(id NodeID) {
+	if _, ok := g.adj[id]; !ok {
+		g.adj[id] = make(map[NodeID]struct{})
+	}
+}
+
+// HasNode reports whether id is present.
+func (g *Graph) HasNode(id NodeID) bool {
+	_, ok := g.adj[id]
+	return ok
+}
+
+// RemoveNode deletes a node and all incident edges. Removing an absent node
+// is a no-op.
+func (g *Graph) RemoveNode(id NodeID) {
+	nbrs, ok := g.adj[id]
+	if !ok {
+		return
+	}
+	for n := range nbrs {
+		delete(g.adj[n], id)
+		g.edges--
+	}
+	delete(g.adj, id)
+}
+
+// AddEdge inserts the undirected edge {u, v}, adding endpoints as needed.
+// Self-loops are rejected with an error; duplicate edges are no-ops.
+func (g *Graph) AddEdge(u, v NodeID) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d", u)
+	}
+	g.AddNode(u)
+	g.AddNode(v)
+	if _, ok := g.adj[u][v]; ok {
+		return nil
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.edges++
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present.
+func (g *Graph) RemoveEdge(u, v NodeID) {
+	if _, ok := g.adj[u][v]; !ok {
+		return
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.edges--
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.adj))
+	for id := range g.adj {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Neighbors returns the neighbors of id in ascending order. The result is a
+// fresh slice the caller may modify. Absent nodes yield nil.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	nbrs, ok := g.adj[id]
+	if !ok {
+		return nil
+	}
+	out := make([]NodeID, 0, len(nbrs))
+	for n := range nbrs {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the degree of id (0 for absent nodes).
+func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
+
+// MaxDegree returns the maximum degree over all nodes (0 for empty graphs).
+// This is the quantity the paper calls D when applied to the whole network.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nbrs := range g.adj {
+		if len(nbrs) > max {
+			max = len(nbrs)
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.edges = g.edges
+	for id, nbrs := range g.adj {
+		m := make(map[NodeID]struct{}, len(nbrs))
+		for n := range nbrs {
+			m[n] = struct{}{}
+		}
+		c.adj[id] = m
+	}
+	return c
+}
+
+// InducedSubgraph returns the subgraph induced by keep: its node set is the
+// intersection of keep with the graph's nodes, and its edges are all edges
+// of g with both endpoints in keep. The paper writes G(V_BT) for the
+// subgraph induced by the backbone node set.
+func (g *Graph) InducedSubgraph(keep []NodeID) *Graph {
+	in := make(map[NodeID]struct{}, len(keep))
+	for _, id := range keep {
+		if g.HasNode(id) {
+			in[id] = struct{}{}
+		}
+	}
+	sub := New()
+	for id := range in {
+		sub.AddNode(id)
+		for n := range g.adj[id] {
+			if _, ok := in[n]; ok && n > id {
+				// AddEdge cannot fail here: id != n.
+				_ = sub.AddEdge(id, n)
+			}
+		}
+	}
+	return sub
+}
+
+// BFSResult carries the outcome of a breadth-first traversal.
+type BFSResult struct {
+	// Order lists reached nodes in visit order, starting with the root.
+	Order []NodeID
+	// Parent maps each reached node (except the root) to its BFS parent.
+	Parent map[NodeID]NodeID
+	// Depth maps each reached node to its hop distance from the root.
+	Depth map[NodeID]int
+}
+
+// BFS runs a breadth-first traversal from root. Neighbor expansion is in
+// ascending ID order, so the result is deterministic. If root is absent the
+// result is empty.
+func (g *Graph) BFS(root NodeID) BFSResult {
+	res := BFSResult{Parent: make(map[NodeID]NodeID), Depth: make(map[NodeID]int)}
+	if !g.HasNode(root) {
+		return res
+	}
+	res.Depth[root] = 0
+	res.Order = append(res.Order, root)
+	queue := []NodeID{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if _, seen := res.Depth[v]; seen {
+				continue
+			}
+			res.Depth[v] = res.Depth[u] + 1
+			res.Parent[v] = u
+			res.Order = append(res.Order, v)
+			queue = append(queue, v)
+		}
+	}
+	return res
+}
+
+// Connected reports whether the graph is connected. Empty graphs and
+// single-node graphs are connected.
+func (g *Graph) Connected() bool {
+	if len(g.adj) <= 1 {
+		return true
+	}
+	var root NodeID
+	for id := range g.adj {
+		root = id
+		break
+	}
+	return len(g.BFS(root).Order) == len(g.adj)
+}
+
+// Components returns the connected components, each sorted ascending, and
+// the list of components sorted by their smallest member.
+func (g *Graph) Components() [][]NodeID {
+	seen := make(map[NodeID]struct{}, len(g.adj))
+	var comps [][]NodeID
+	for _, id := range g.Nodes() {
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		res := g.BFS(id)
+		comp := append([]NodeID(nil), res.Order...)
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		for _, n := range comp {
+			seen[n] = struct{}{}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Eccentricity returns the maximum BFS distance from id to any reachable
+// node, and the number of reachable nodes (including id).
+func (g *Graph) Eccentricity(id NodeID) (ecc, reached int) {
+	res := g.BFS(id)
+	for _, d := range res.Depth {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, len(res.Order)
+}
+
+// Diameter returns the exact diameter of a connected graph via all-pairs
+// BFS, or -1 if the graph is disconnected or empty.
+func (g *Graph) Diameter() int {
+	if len(g.adj) == 0 {
+		return -1
+	}
+	n := len(g.adj)
+	diam := 0
+	for _, id := range g.Nodes() {
+		ecc, reached := g.Eccentricity(id)
+		if reached != n {
+			return -1
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// Equal reports whether two graphs have identical node and edge sets.
+func (g *Graph) Equal(o *Graph) bool {
+	if g.NumNodes() != o.NumNodes() || g.NumEdges() != o.NumEdges() {
+		return false
+	}
+	for id, nbrs := range g.adj {
+		onbrs, ok := o.adj[id]
+		if !ok || len(nbrs) != len(onbrs) {
+			return false
+		}
+		for n := range nbrs {
+			if _, ok := onbrs[n]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,331 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustEdge(t *testing.T, g *Graph, u, v NodeID) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
+
+// path returns the path graph 0-1-...-(n-1).
+func path(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New()
+	g.AddNode(0)
+	for i := 1; i < n; i++ {
+		mustEdge(t, g, NodeID(i-1), NodeID(i))
+	}
+	return g
+}
+
+// randomConnected builds a random connected graph on n nodes: a random tree
+// plus extra random edges.
+func randomConnected(n int, extra int, rng *rand.Rand) *Graph {
+	g := New()
+	g.AddNode(0)
+	for i := 1; i < n; i++ {
+		_ = g.AddEdge(NodeID(i), NodeID(rng.Intn(i)))
+	}
+	for i := 0; i < extra; i++ {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if u != v {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("empty graph should count as connected")
+	}
+	if g.MaxDegree() != 0 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+	if d := g.Diameter(); d != -1 {
+		t.Fatalf("Diameter of empty graph = %d, want -1", d)
+	}
+	if nbrs := g.Neighbors(7); nbrs != nil {
+		t.Fatalf("Neighbors of absent node = %v", nbrs)
+	}
+}
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("edge not symmetric")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	// Duplicate add is a no-op.
+	mustEdge(t, g, 2, 1)
+	if g.NumEdges() != 1 {
+		t.Fatalf("duplicate edge counted: %d", g.NumEdges())
+	}
+	g.RemoveEdge(1, 2)
+	if g.HasEdge(1, 2) || g.NumEdges() != 0 {
+		t.Fatal("edge not removed")
+	}
+	// Removing an absent edge is a no-op.
+	g.RemoveEdge(1, 2)
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges after double remove = %d", g.NumEdges())
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	g := New()
+	if err := g.AddEdge(3, 3); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 1, 3)
+	mustEdge(t, g, 2, 3)
+	g.RemoveNode(1)
+	if g.HasNode(1) {
+		t.Fatal("node 1 still present")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.HasEdge(1, 2) || g.HasEdge(1, 3) {
+		t.Fatal("stale incident edge")
+	}
+	if !g.HasEdge(2, 3) {
+		t.Fatal("unrelated edge lost")
+	}
+	g.RemoveNode(42) // absent: no-op
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+}
+
+func TestNeighborsSortedAndFresh(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 5, 9)
+	mustEdge(t, g, 5, 1)
+	mustEdge(t, g, 5, 4)
+	nbrs := g.Neighbors(5)
+	want := []NodeID{1, 4, 9}
+	for i, n := range nbrs {
+		if n != want[i] {
+			t.Fatalf("Neighbors(5) = %v, want %v", nbrs, want)
+		}
+	}
+	nbrs[0] = 77 // must not alias internal state
+	again := g.Neighbors(5)
+	if again[0] != 1 {
+		t.Fatal("Neighbors returned aliased slice")
+	}
+}
+
+func TestBFSDepths(t *testing.T) {
+	g := path(t, 5)
+	res := g.BFS(0)
+	if len(res.Order) != 5 {
+		t.Fatalf("reached %d nodes", len(res.Order))
+	}
+	for i := 0; i < 5; i++ {
+		if res.Depth[NodeID(i)] != i {
+			t.Fatalf("depth of %d = %d", i, res.Depth[NodeID(i)])
+		}
+	}
+	if res.Order[0] != 0 {
+		t.Fatalf("BFS order starts at %d", res.Order[0])
+	}
+	if _, ok := res.Parent[0]; ok {
+		t.Fatal("root has a parent")
+	}
+}
+
+func TestBFSAbsentRoot(t *testing.T) {
+	g := New()
+	res := g.BFS(1)
+	if len(res.Order) != 0 {
+		t.Fatalf("BFS from absent root reached %d nodes", len(res.Order))
+	}
+}
+
+func TestConnectedAndComponents(t *testing.T) {
+	g := path(t, 4)
+	if !g.Connected() {
+		t.Fatal("path should be connected")
+	}
+	g.AddNode(10)
+	if g.Connected() {
+		t.Fatal("graph with isolated node reported connected")
+	}
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d", len(comps))
+	}
+	if len(comps[0]) != 4 || len(comps[1]) != 1 || comps[1][0] != 10 {
+		t.Fatalf("unexpected components %v", comps)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	g := path(t, 6)
+	if d := g.Diameter(); d != 5 {
+		t.Fatalf("path diameter = %d, want 5", d)
+	}
+	// Cycle of 6: diameter 3.
+	mustEdge(t, g, 5, 0)
+	if d := g.Diameter(); d != 3 {
+		t.Fatalf("cycle diameter = %d, want 3", d)
+	}
+	g.AddNode(99)
+	if d := g.Diameter(); d != -1 {
+		t.Fatalf("disconnected diameter = %d, want -1", d)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 3, 4)
+	mustEdge(t, g, 4, 1)
+	sub := g.InducedSubgraph([]NodeID{1, 2, 3, 42})
+	if sub.NumNodes() != 3 {
+		t.Fatalf("induced nodes = %d", sub.NumNodes())
+	}
+	if !sub.HasEdge(1, 2) || !sub.HasEdge(2, 3) {
+		t.Fatal("induced edges missing")
+	}
+	if sub.HasEdge(4, 1) || sub.HasNode(4) {
+		t.Fatal("excluded node leaked into induced subgraph")
+	}
+	// Original untouched.
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatal("InducedSubgraph mutated receiver")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnected(30, 40, rng)
+	c := g.Clone()
+	if !g.Equal(c) || !c.Equal(g) {
+		t.Fatal("clone not equal")
+	}
+	c.RemoveNode(3)
+	if g.Equal(c) {
+		t.Fatal("mutation of clone affected equality")
+	}
+	if !g.HasNode(3) {
+		t.Fatal("clone aliased original")
+	}
+}
+
+func TestEqualDetectsEdgeDifference(t *testing.T) {
+	a, b := New(), New()
+	_ = a.AddEdge(1, 2)
+	_ = a.AddEdge(3, 4)
+	_ = b.AddEdge(1, 2)
+	_ = b.AddEdge(1, 3)
+	b.AddNode(4)
+	if a.Equal(b) {
+		t.Fatal("graphs with same counts but different edges reported equal")
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := path(t, 5)
+	ecc, reached := g.Eccentricity(2)
+	if ecc != 2 || reached != 5 {
+		t.Fatalf("Eccentricity(2) = %d,%d", ecc, reached)
+	}
+	ecc, reached = g.Eccentricity(0)
+	if ecc != 4 || reached != 5 {
+		t.Fatalf("Eccentricity(0) = %d,%d", ecc, reached)
+	}
+}
+
+// Property: for random connected graphs, BFS from any node reaches all
+// nodes, depths differ by at most 1 across any edge, and the BFS tree has
+// n-1 parent entries.
+func TestBFSProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(n, n/2, rng)
+		root := NodeID(rng.Intn(n))
+		res := g.BFS(root)
+		if len(res.Order) != n || len(res.Parent) != n-1 {
+			return false
+		}
+		for _, u := range g.Nodes() {
+			for _, v := range g.Neighbors(u) {
+				du, dv := res.Depth[u], res.Depth[v]
+				if du-dv > 1 || dv-du > 1 {
+					return false
+				}
+			}
+		}
+		for child, par := range res.Parent {
+			if !g.HasEdge(child, par) {
+				return false
+			}
+			if res.Depth[child] != res.Depth[par]+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: removing a random node removes exactly its degree from the edge
+// count.
+func TestRemoveNodeEdgeAccounting(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 3
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(n, n, rng)
+		victim := NodeID(rng.Intn(n))
+		deg := g.Degree(victim)
+		before := g.NumEdges()
+		g.RemoveNode(victim)
+		return g.NumEdges() == before-deg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone is Equal and independent.
+func TestCloneProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(n, n, rng)
+		c := g.Clone()
+		if !g.Equal(c) {
+			return false
+		}
+		c.RemoveNode(NodeID(rng.Intn(n)))
+		return g.NumNodes() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildTree attaches nodes 1..n-1 each under a random earlier node.
+func buildTree(n int, rng *rand.Rand) *Tree {
+	t := NewTree(0)
+	for i := 1; i < n; i++ {
+		_ = t.AddChild(NodeID(i), NodeID(rng.Intn(i)))
+	}
+	return t
+}
+
+func TestTreeBasics(t *testing.T) {
+	tr := NewTree(5)
+	if tr.Root() != 5 || tr.Size() != 1 || !tr.IsLeaf(5) {
+		t.Fatal("fresh tree malformed")
+	}
+	if err := tr.AddChild(7, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddChild(9, 7); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 3 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	if p, ok := tr.Parent(9); !ok || p != 7 {
+		t.Fatalf("Parent(9) = %d,%v", p, ok)
+	}
+	if _, ok := tr.Parent(5); ok {
+		t.Fatal("root has parent")
+	}
+	if tr.Depth(9) != 2 || tr.Depth(5) != 0 {
+		t.Fatalf("depths: %d %d", tr.Depth(9), tr.Depth(5))
+	}
+	if tr.Depth(1234) != -1 {
+		t.Fatal("absent depth should be -1")
+	}
+	if tr.Height() != 2 {
+		t.Fatalf("Height = %d", tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeAddChildErrors(t *testing.T) {
+	tr := NewTree(0)
+	if err := tr.AddChild(0, 0); err == nil {
+		t.Fatal("re-adding root accepted")
+	}
+	if err := tr.AddChild(1, 99); err == nil {
+		t.Fatal("absent parent accepted")
+	}
+	if err := tr.AddChild(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddChild(1, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestRemoveLeaf(t *testing.T) {
+	tr := NewTree(0)
+	_ = tr.AddChild(1, 0)
+	_ = tr.AddChild(2, 1)
+	if err := tr.RemoveLeaf(1); err == nil {
+		t.Fatal("removed internal node as leaf")
+	}
+	if err := tr.RemoveLeaf(0); err == nil {
+		t.Fatal("removed root as leaf")
+	}
+	if err := tr.RemoveLeaf(2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Contains(2) || tr.Size() != 2 {
+		t.Fatal("leaf not removed")
+	}
+	if !tr.IsLeaf(1) {
+		t.Fatal("parent should become leaf")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveSubtree(t *testing.T) {
+	tr := NewTree(0)
+	_ = tr.AddChild(1, 0)
+	_ = tr.AddChild(2, 1)
+	_ = tr.AddChild(3, 1)
+	_ = tr.AddChild(4, 0)
+	got, err := tr.RemoveSubtree(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 {
+		t.Fatalf("RemoveSubtree returned %v", got)
+	}
+	if tr.Size() != 2 || tr.Contains(2) {
+		t.Fatal("subtree not removed")
+	}
+	if _, err := tr.RemoveSubtree(0); err == nil {
+		t.Fatal("removing root subtree should fail")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtreePreorder(t *testing.T) {
+	tr := NewTree(0)
+	_ = tr.AddChild(2, 0)
+	_ = tr.AddChild(1, 0)
+	_ = tr.AddChild(3, 2)
+	got := tr.Subtree(0)
+	want := []NodeID{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Subtree = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	tr := NewTree(0)
+	_ = tr.AddChild(1, 0)
+	_ = tr.AddChild(2, 1)
+	p := tr.PathToRoot(2)
+	want := []NodeID{2, 1, 0}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("PathToRoot = %v", p)
+		}
+	}
+	if tr.PathToRoot(99) != nil {
+		t.Fatal("path for absent node")
+	}
+}
+
+func TestEulerTourFromRoot(t *testing.T) {
+	tr := NewTree(0)
+	_ = tr.AddChild(1, 0)
+	_ = tr.AddChild(2, 0)
+	_ = tr.AddChild(3, 1)
+	tour := tr.EulerTour(0)
+	// 3 edges -> 7 entries, starts and ends at 0.
+	if len(tour) != 7 {
+		t.Fatalf("tour length = %d (%v)", len(tour), tour)
+	}
+	if tour[0] != 0 || tour[len(tour)-1] != 0 {
+		t.Fatalf("tour endpoints: %v", tour)
+	}
+	// Every consecutive pair must be a tree edge.
+	g := tr.AsGraph()
+	for i := 1; i < len(tour); i++ {
+		if !g.HasEdge(tour[i-1], tour[i]) {
+			t.Fatalf("tour step %d-%d not an edge", tour[i-1], tour[i])
+		}
+	}
+}
+
+func TestEulerTourFromNonRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := buildTree(12, rng)
+	tour := tr.EulerTour(7)
+	if len(tour) != 2*(tr.Size()-1)+1 {
+		t.Fatalf("tour length = %d", len(tour))
+	}
+	if tour[0] != 7 || tour[len(tour)-1] != 7 {
+		t.Fatalf("tour endpoints: %v", tour)
+	}
+	// Each edge used exactly twice.
+	used := make(map[[2]NodeID]int)
+	for i := 1; i < len(tour); i++ {
+		a, b := tour[i-1], tour[i]
+		if a > b {
+			a, b = b, a
+		}
+		used[[2]NodeID{a, b}]++
+	}
+	for e, c := range used {
+		if c != 2 {
+			t.Fatalf("edge %v used %d times", e, c)
+		}
+	}
+}
+
+func TestSubtreeHeight(t *testing.T) {
+	tr := NewTree(0)
+	_ = tr.AddChild(1, 0)
+	_ = tr.AddChild(2, 1)
+	_ = tr.AddChild(3, 2)
+	if h := tr.SubtreeHeight(1); h != 2 {
+		t.Fatalf("SubtreeHeight(1) = %d", h)
+	}
+	if h := tr.SubtreeHeight(3); h != 0 {
+		t.Fatalf("SubtreeHeight(leaf) = %d", h)
+	}
+	if h := tr.SubtreeHeight(9); h != -1 {
+		t.Fatalf("SubtreeHeight(absent) = %d", h)
+	}
+}
+
+func TestTreeCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := buildTree(20, rng)
+	c := tr.Clone()
+	if c.Size() != tr.Size() || c.Height() != tr.Height() {
+		t.Fatal("clone differs")
+	}
+	leaf := c.Leaves()[0]
+	if err := c.RemoveLeaf(leaf); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Contains(leaf) {
+		t.Fatal("clone aliased original")
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	tr := NewTree(0)
+	_ = tr.AddChild(1, 0)
+	_ = tr.AddChild(2, 0)
+	_ = tr.AddChild(3, 1)
+	leaves := tr.Leaves()
+	want := []NodeID{2, 3}
+	if len(leaves) != 2 || leaves[0] != want[0] || leaves[1] != want[1] {
+		t.Fatalf("Leaves = %v", leaves)
+	}
+}
+
+// Property: for random trees, DepthMap agrees with Depth, the Euler tour
+// from the root covers every node, and Validate passes.
+func TestTreeProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		rng := rand.New(rand.NewSource(seed))
+		tr := buildTree(n, rng)
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		dm := tr.DepthMap()
+		for _, id := range tr.Nodes() {
+			if dm[id] != tr.Depth(id) {
+				return false
+			}
+		}
+		tour := tr.EulerTour(tr.Root())
+		seen := make(map[NodeID]struct{})
+		for _, id := range tour {
+			seen[id] = struct{}{}
+		}
+		if len(seen) != n || len(tour) != 2*(n-1)+1 {
+			return false
+		}
+		// Height equals max depth.
+		maxD := 0
+		for _, d := range dm {
+			if d > maxD {
+				maxD = d
+			}
+		}
+		return tr.Height() == maxD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AsGraph yields a connected acyclic graph with n-1 edges.
+func TestAsGraphIsTree(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		tr := buildTree(n, rng)
+		g := tr.AsGraph()
+		return g.NumNodes() == n && g.NumEdges() == n-1 && g.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,351 @@
+// Package multicast implements Section 3.4 of the paper: MCNet(G), the
+// cluster-based structure extended with per-node group-lists and
+// relay-lists, and the collision-free multicast that runs Algorithm 2 with
+// subtree pruning — an internal node forwards the payload only when the
+// target group appears in its relay-list (it has a descendant in the
+// group), so subtrees without group members drop out of the multicast.
+//
+// Relay-lists are maintained incrementally: a membership change walks the
+// path to the root (h rounds), and topology changes replay the affected
+// nodes, matching the paper's Section 5 list-maintenance sketch.
+package multicast
+
+import (
+	"fmt"
+	"sort"
+
+	"dynsens/internal/broadcast"
+	"dynsens/internal/cnet"
+	"dynsens/internal/graph"
+	"dynsens/internal/timeslot"
+)
+
+// MCNet augments a CNet with group and relay lists.
+type MCNet struct {
+	net *cnet.CNet
+	// member[id][g] marks id as a member of group g (the group-list).
+	member map[graph.NodeID]map[int]bool
+	// relay[id][g] counts id's proper descendants belonging to g; the
+	// relay-list is the set of groups with positive count.
+	relay map[graph.NodeID]map[int]int
+	// rounds accumulates list-maintenance cost (one round per hop of each
+	// root-ward update walk).
+	rounds int
+}
+
+// New wraps net with empty group state.
+func New(net *cnet.CNet) *MCNet {
+	return &MCNet{
+		net:    net,
+		member: make(map[graph.NodeID]map[int]bool),
+		relay:  make(map[graph.NodeID]map[int]int),
+	}
+}
+
+// Net returns the underlying CNet.
+func (m *MCNet) Net() *cnet.CNet { return m.net }
+
+// Rounds returns the accumulated list-maintenance round cost.
+func (m *MCNet) Rounds() int { return m.rounds }
+
+// InGroup reports whether id belongs to group g.
+func (m *MCNet) InGroup(id graph.NodeID, g int) bool { return m.member[id][g] }
+
+// HasRelay reports whether g is in id's relay-list (a proper descendant of
+// id belongs to g).
+func (m *MCNet) HasRelay(id graph.NodeID, g int) bool { return m.relay[id][g] > 0 }
+
+// GroupList returns id's groups, ascending.
+func (m *MCNet) GroupList(id graph.NodeID) []int {
+	var out []int
+	for g := range m.member[id] {
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RelayList returns id's relay-list, ascending.
+func (m *MCNet) RelayList(id graph.NodeID) []int {
+	var out []int
+	for g, n := range m.relay[id] {
+		if n > 0 {
+			out = append(out, g)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GroupMembers returns the members of g, ascending.
+func (m *MCNet) GroupMembers(g int) []graph.NodeID {
+	var out []graph.NodeID
+	for _, id := range m.net.Tree().Nodes() {
+		if m.member[id][g] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// JoinGroup adds id to group g and pushes the relay update up the tree.
+func (m *MCNet) JoinGroup(id graph.NodeID, g int) error {
+	if !m.net.Contains(id) {
+		return fmt.Errorf("multicast: node %d not in network", id)
+	}
+	if g <= 0 {
+		return fmt.Errorf("multicast: group IDs are positive, got %d", g)
+	}
+	if m.member[id][g] {
+		return nil
+	}
+	if m.member[id] == nil {
+		m.member[id] = make(map[int]bool)
+	}
+	m.member[id][g] = true
+	m.bumpAncestors(id, g, +1)
+	return nil
+}
+
+// LeaveGroup removes id from group g.
+func (m *MCNet) LeaveGroup(id graph.NodeID, g int) error {
+	if !m.member[id][g] {
+		return fmt.Errorf("multicast: node %d not in group %d", id, g)
+	}
+	delete(m.member[id], g)
+	m.bumpAncestors(id, g, -1)
+	return nil
+}
+
+// SetGroups bulk-loads memberships (replacing existing state) and rebuilds
+// relay lists.
+func (m *MCNet) SetGroups(groups map[graph.NodeID][]int) error {
+	m.member = make(map[graph.NodeID]map[int]bool)
+	for id, gs := range groups {
+		if !m.net.Contains(id) {
+			return fmt.Errorf("multicast: node %d not in network", id)
+		}
+		set := make(map[int]bool, len(gs))
+		for _, g := range gs {
+			if g <= 0 {
+				return fmt.Errorf("multicast: group IDs are positive, got %d", g)
+			}
+			set[g] = true
+		}
+		m.member[id] = set
+	}
+	m.Rebuild()
+	return nil
+}
+
+func (m *MCNet) bumpAncestors(id graph.NodeID, g int, delta int) {
+	tr := m.net.Tree()
+	cur := id
+	for {
+		p, ok := tr.Parent(cur)
+		if !ok {
+			break
+		}
+		if m.relay[p] == nil {
+			m.relay[p] = make(map[int]int)
+		}
+		m.relay[p][g] += delta
+		m.rounds++
+		cur = p
+	}
+}
+
+// Rebuild recomputes all relay counts from the current tree and
+// memberships, pruning memberships of nodes that left the network.
+func (m *MCNet) Rebuild() {
+	m.relay = make(map[graph.NodeID]map[int]int)
+	for id, gs := range m.member {
+		if !m.net.Contains(id) {
+			delete(m.member, id)
+			continue
+		}
+		for g := range gs {
+			m.bumpAncestors(id, g, +1)
+		}
+	}
+}
+
+// OnCrash updates lists after a non-graceful repair: dead and dropped
+// nodes lose their memberships, survivors keep theirs, relay counts are
+// rebuilt.
+func (m *MCNet) OnCrash(rec cnet.CrashRecord) {
+	for _, id := range rec.Dead {
+		delete(m.member, id)
+	}
+	for _, id := range rec.Dropped {
+		delete(m.member, id)
+	}
+	m.Rebuild()
+}
+
+// OnMoveOut updates lists after a node-move-out: the departed node's
+// memberships vanish, re-inserted nodes keep theirs, and relay counts are
+// rebuilt over the new tree (the paper updates them along the move-out
+// tour; the result is identical).
+func (m *MCNet) OnMoveOut(rec cnet.MoveOutRecord) {
+	delete(m.member, rec.Removed)
+	m.Rebuild()
+}
+
+// Verify checks that relay counts equal the true descendant-membership
+// counts.
+func (m *MCNet) Verify() error {
+	tr := m.net.Tree()
+	want := make(map[graph.NodeID]map[int]int)
+	for id, gs := range m.member {
+		if !tr.Contains(id) {
+			return fmt.Errorf("multicast: member %d not in tree", id)
+		}
+		cur := id
+		for {
+			p, ok := tr.Parent(cur)
+			if !ok {
+				break
+			}
+			if want[p] == nil {
+				want[p] = make(map[int]int)
+			}
+			for g := range gs {
+				want[p][g]++
+			}
+			cur = p
+		}
+	}
+	for _, id := range tr.Nodes() {
+		for g, n := range m.relay[id] {
+			if n < 0 {
+				return fmt.Errorf("multicast: negative relay count at %d group %d", id, g)
+			}
+			if n != want[id][g] {
+				return fmt.Errorf("multicast: relay[%d][%d]=%d, want %d", id, g, n, want[id][g])
+			}
+		}
+		for g, n := range want[id] {
+			if m.relay[id][g] != n {
+				return fmt.Errorf("multicast: relay[%d][%d]=%d, want %d", id, g, m.relay[id][g], n)
+			}
+		}
+	}
+	return nil
+}
+
+// RelaySet computes the effective forwarding set for group g: the nodes
+// whose relay-lists contain g, closed under a uniqueness repair. Pruning
+// can strip a receiver's interference set of its unique-slot transmitter
+// (the time-slot conditions were established for the full broadcast), so
+// whenever a receiver would be left without one, the full-set designated
+// transmitter and its ancestors are forced to relay too. The closure
+// terminates because the set only grows, and at the full backbone the
+// verified slot conditions hold. ForcedRelays in the returned count tells
+// how many nodes the repair added beyond the paper's relay-list rule.
+func (m *MCNet) RelaySet(a *timeslot.Assignment, g int) (set map[graph.NodeID]bool, forced int) {
+	tr := m.net.Tree()
+	set = make(map[graph.NodeID]bool)
+	for _, id := range tr.Nodes() {
+		if m.HasRelay(id, g) {
+			set[id] = true
+		}
+	}
+	addWithAncestors := func(id graph.NodeID) {
+		cur := id
+		for {
+			if !set[cur] {
+				set[cur] = true
+				forced++
+			}
+			p, ok := tr.Parent(cur)
+			if !ok {
+				return
+			}
+			cur = p
+		}
+	}
+	hasUniqueIn := func(kind timeslot.Kind, v graph.NodeID) bool {
+		count := make(map[int]int)
+		for _, u := range a.InterferenceSet(kind, v) {
+			if !set[u] {
+				continue
+			}
+			if s, ok := a.Slot(kind, u); ok {
+				count[s]++
+			}
+		}
+		for _, c := range count {
+			if c == 1 {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, v := range tr.Nodes() {
+			var kind timeslot.Kind
+			switch st, _ := m.net.Status(v); st {
+			case cnet.Member:
+				if !m.InGroup(v, g) {
+					continue
+				}
+				kind = timeslot.L
+			default:
+				if !set[v] && !m.InGroup(v, g) {
+					continue
+				}
+				if v == m.net.Root() {
+					continue
+				}
+				kind = timeslot.B
+			}
+			if hasUniqueIn(kind, v) {
+				continue
+			}
+			if u, _, ok := a.Designated(kind, v); ok && !set[u] {
+				addWithAncestors(u)
+				changed = true
+			}
+		}
+	}
+	return set, forced
+}
+
+// Plan builds the multicast schedule for group g from source: Algorithm 2
+// with relaying restricted to the group's relay set (plus the
+// source-to-root preamble, which is never pruned). The audience — the
+// plan's completion criterion — is the group membership.
+func (m *MCNet) Plan(a *timeslot.Assignment, g int, source graph.NodeID, k int) (*broadcast.Plan, error) {
+	if a.Net() != m.net {
+		return nil, fmt.Errorf("multicast: assignment bound to a different network")
+	}
+	members := m.GroupMembers(g)
+	if len(members) == 0 {
+		return nil, fmt.Errorf("multicast: group %d has no members", g)
+	}
+	set, _ := m.RelaySet(a, g)
+	relay := func(id graph.NodeID) bool { return set[id] }
+	want := func(id graph.NodeID) bool { return m.InGroup(id, g) }
+	plan, err := broadcast.ICFFPlan(a, source, k, relay, want)
+	if err != nil {
+		return nil, err
+	}
+	plan.Protocol = "MCAST"
+	plan.StampGroup(g)
+	return plan, nil
+}
+
+// Run executes a multicast for group g from source.
+func (m *MCNet) Run(a *timeslot.Assignment, g int, source graph.NodeID, opts broadcast.Options) (broadcast.Metrics, error) {
+	k := opts.Channels
+	if k <= 0 {
+		k = 1
+	}
+	plan, err := m.Plan(a, g, source, k)
+	if err != nil {
+		return broadcast.Metrics{}, err
+	}
+	return plan.Run(m.net.Graph(), opts)
+}

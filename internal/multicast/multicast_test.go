@@ -1,0 +1,333 @@
+package multicast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynsens/internal/broadcast"
+	"dynsens/internal/cnet"
+	"dynsens/internal/graph"
+	"dynsens/internal/timeslot"
+	"dynsens/internal/workload"
+)
+
+func buildNet(t testing.TB, seed int64, n int) (*cnet.CNet, *timeslot.Assignment) {
+	t.Helper()
+	d, err := workload.IncrementalConnected(workload.PaperConfig(seed, 8, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := cnet.BuildFromGraph(d.Graph(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, timeslot.New(c, timeslot.ConditionStrict)
+}
+
+func TestGroupListMaintenance(t *testing.T) {
+	c, _ := buildNet(t, 1, 40)
+	m := New(c)
+	nodes := c.Tree().Nodes()
+	leafish := nodes[len(nodes)-1]
+	if err := m.JoinGroup(leafish, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !m.InGroup(leafish, 2) {
+		t.Fatal("membership not recorded")
+	}
+	// Every proper ancestor must have 2 in its relay-list.
+	cur := leafish
+	for {
+		p, ok := c.Tree().Parent(cur)
+		if !ok {
+			break
+		}
+		if !m.HasRelay(p, 2) {
+			t.Fatalf("ancestor %d missing relay entry", p)
+		}
+		cur = p
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LeaveGroup(leafish, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.HasRelay(c.Root(), 2) && c.Root() != leafish {
+		t.Fatal("relay entry not cleared")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinGroupErrors(t *testing.T) {
+	c, _ := buildNet(t, 1, 10)
+	m := New(c)
+	if err := m.JoinGroup(999, 1); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if err := m.JoinGroup(c.Root(), 0); err == nil {
+		t.Fatal("group 0 accepted")
+	}
+	if err := m.JoinGroup(c.Root(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent join.
+	if err := m.JoinGroup(c.Root(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LeaveGroup(c.Root(), 7); err == nil {
+		t.Fatal("leaving absent group accepted")
+	}
+}
+
+func TestSetGroupsBulk(t *testing.T) {
+	c, _ := buildNet(t, 2, 60)
+	m := New(c)
+	groups := workload.Groups(c.Graph(), 3, 0.4, 11)
+	asLists := make(map[graph.NodeID][]int, len(groups))
+	for id, gs := range groups {
+		asLists[id] = gs
+	}
+	if err := m.SetGroups(asLists); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// GroupList round-trips.
+	for id, gs := range asLists {
+		got := m.GroupList(id)
+		if len(got) != len(gs) {
+			t.Fatalf("group list of %d = %v, want %v", id, got, gs)
+		}
+	}
+	if err := m.SetGroups(map[graph.NodeID][]int{1: {-1}}); err == nil {
+		t.Fatal("negative group accepted")
+	}
+	if err := m.SetGroups(map[graph.NodeID][]int{9999: {1}}); err == nil {
+		t.Fatal("unknown node accepted in bulk load")
+	}
+}
+
+func TestMulticastDeliversToGroup(t *testing.T) {
+	c, a := buildNet(t, 3, 150)
+	m := New(c)
+	rng := rand.New(rand.NewSource(3))
+	nodes := c.Tree().Nodes()
+	for i := 0; i < 30; i++ {
+		_ = m.JoinGroup(nodes[rng.Intn(len(nodes))], 1)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(a, 1, c.Root(), broadcast.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("multicast incomplete: %s", res)
+	}
+	if res.Audience != len(m.GroupMembers(1)) {
+		t.Fatalf("audience %d, members %d", res.Audience, len(m.GroupMembers(1)))
+	}
+}
+
+func TestMulticastPrunesTransmissions(t *testing.T) {
+	// A multicast to a small group must transmit less and finish its last
+	// delivery no later than the full broadcast (Section 3.4's claim).
+	c, a := buildNet(t, 4, 200)
+	m := New(c)
+	members := c.Members()
+	if len(members) < 3 {
+		t.Skip("too few members")
+	}
+	_ = m.JoinGroup(members[0], 1)
+	_ = m.JoinGroup(members[1], 1)
+	mc, err := m.Run(a, 1, c.Root(), broadcast.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := broadcast.RunICFF(a, c.Root(), broadcast.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mc.Completed || !bc.Completed {
+		t.Fatalf("incomplete: %s / %s", mc, bc)
+	}
+	if mc.Transmissions >= bc.Transmissions {
+		t.Fatalf("multicast tx %d not below broadcast %d", mc.Transmissions, bc.Transmissions)
+	}
+	if mc.CompletionRound > bc.ScheduleLen {
+		t.Fatalf("multicast completion %d beyond broadcast schedule %d", mc.CompletionRound, bc.ScheduleLen)
+	}
+}
+
+func TestMulticastFromGroupMemberSource(t *testing.T) {
+	c, a := buildNet(t, 5, 100)
+	m := New(c)
+	members := c.Members()
+	if len(members) < 2 {
+		t.Skip("too few members")
+	}
+	src := members[0]
+	_ = m.JoinGroup(src, 2)
+	_ = m.JoinGroup(members[len(members)-1], 2)
+	res, err := m.Run(a, 2, src, broadcast.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("multicast from member incomplete: %s", res)
+	}
+}
+
+func TestMulticastEmptyGroup(t *testing.T) {
+	c, a := buildNet(t, 6, 20)
+	m := New(c)
+	if _, err := m.Run(a, 5, c.Root(), broadcast.Options{}); err == nil {
+		t.Fatal("empty group accepted")
+	}
+}
+
+func TestPlanRejectsForeignAssignment(t *testing.T) {
+	c, _ := buildNet(t, 7, 20)
+	other, aOther := buildNet(t, 8, 20)
+	_ = other
+	m := New(c)
+	_ = m.JoinGroup(c.Root(), 1)
+	if _, err := m.Plan(aOther, 1, c.Root(), 1); err == nil {
+		t.Fatal("foreign assignment accepted")
+	}
+}
+
+func TestOnMoveOutKeepsListsConsistent(t *testing.T) {
+	c, _ := buildNet(t, 9, 60)
+	m := New(c)
+	rng := rand.New(rand.NewSource(9))
+	nodes := c.Tree().Nodes()
+	for i := 0; i < 20; i++ {
+		_ = m.JoinGroup(nodes[rng.Intn(len(nodes))], 1+rng.Intn(3))
+	}
+	removed := 0
+	for k := 0; k < 6 && c.Size() > 5; k++ {
+		cand := c.Tree().Nodes()
+		victim := cand[rng.Intn(len(cand))]
+		if victim == c.Root() {
+			continue
+		}
+		res := c.Graph().Clone()
+		res.RemoveNode(victim)
+		if !res.Connected() {
+			continue
+		}
+		rec, _, err := c.MoveOut(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.OnMoveOut(rec)
+		if err := m.Verify(); err != nil {
+			t.Fatalf("after move-out of %d: %v", victim, err)
+		}
+		if m.InGroup(victim, 1) || m.InGroup(victim, 2) || m.InGroup(victim, 3) {
+			t.Fatal("departed node retains membership")
+		}
+		removed++
+	}
+	if removed == 0 {
+		t.Skip("no removable nodes in this seed")
+	}
+}
+
+func TestOnCrashPrunesMemberships(t *testing.T) {
+	c, _ := buildNet(t, 15, 60)
+	m := New(c)
+	var dead []graph.NodeID
+	for _, id := range c.Tree().Nodes() {
+		if id != c.Root() && len(dead) < 2 {
+			dead = append(dead, id)
+		}
+	}
+	_ = m.JoinGroup(dead[0], 1)
+	survivors := c.Tree().Nodes()
+	_ = m.JoinGroup(survivors[len(survivors)-1], 1)
+	rec, _, err := c.RemoveCrashed(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.OnCrash(rec)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("lists after crash: %v", err)
+	}
+	if m.InGroup(dead[0], 1) {
+		t.Fatal("dead node retains membership")
+	}
+}
+
+func TestRelayListMatchesFigure4Semantics(t *testing.T) {
+	// Build a small explicit structure: root head 0, member 1, gateway 1
+	// promoted by head 2, member 3 of 2.
+	c := cnet.New(0, nil)
+	_, _, _ = c.MoveIn(1, []graph.NodeID{0})
+	_, _, _ = c.MoveIn(2, []graph.NodeID{1})
+	_, _, _ = c.MoveIn(3, []graph.NodeID{2})
+	m := New(c)
+	_ = m.JoinGroup(3, 1)
+	// Path 0 -> 1 -> 2 -> 3: all proper ancestors of 3 relay group 1.
+	for _, id := range []graph.NodeID{0, 1, 2} {
+		if !m.HasRelay(id, 1) {
+			t.Fatalf("node %d should relay group 1", id)
+		}
+	}
+	// Node 3 itself does not relay (no descendants).
+	if m.HasRelay(3, 1) {
+		t.Fatal("leaf relays its own membership")
+	}
+	got := m.RelayList(0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("RelayList(0) = %v", got)
+	}
+}
+
+// Property: random memberships on random networks always verify, and a
+// multicast from the root delivers to every group member.
+func TestMulticastProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%60) + 5
+		d, err := workload.IncrementalConnected(workload.PaperConfig(seed, 8, n))
+		if err != nil {
+			return false
+		}
+		c, _, err := cnet.BuildFromGraph(d.Graph(), 0, nil)
+		if err != nil {
+			return false
+		}
+		a := timeslot.New(c, timeslot.ConditionStrict)
+		m := New(c)
+		rng := rand.New(rand.NewSource(seed))
+		nodes := c.Tree().Nodes()
+		joined := 0
+		for i := 0; i < n/3+1; i++ {
+			if err := m.JoinGroup(nodes[rng.Intn(len(nodes))], 1); err != nil {
+				return false
+			}
+			joined++
+		}
+		if joined == 0 || m.Verify() != nil {
+			return false
+		}
+		res, err := m.Run(a, 1, c.Root(), broadcast.Options{})
+		if err != nil {
+			return false
+		}
+		return res.Completed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package multinet implements the robustness boost sketched at the end of
+// the paper's Section 2: "more than one cluster-net may be selected in the
+// same way from different roots (sinks) so that if one cluster-net fails
+// others can still be used." It maintains several independent cluster-nets
+// over the same physical network — one per sink — keeps all of them updated
+// through joins and leaves, and offers a failover broadcast that retries on
+// the next cluster-net when the primary one fails to reach everyone (for
+// example because its sink died).
+package multinet
+
+import (
+	"fmt"
+
+	"dynsens/internal/broadcast"
+	"dynsens/internal/core"
+	"dynsens/internal/graph"
+)
+
+// MultiNet is a set of cluster-nets over one physical topology.
+type MultiNet struct {
+	nets []*core.Network
+}
+
+// Build constructs one cluster-net per root over the connected graph g.
+// Roots must be distinct nodes of g.
+func Build(g *graph.Graph, roots []graph.NodeID, cfg core.Config) (*MultiNet, error) {
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("multinet: need at least one root")
+	}
+	seen := make(map[graph.NodeID]bool, len(roots))
+	m := &MultiNet{}
+	for _, r := range roots {
+		if seen[r] {
+			return nil, fmt.Errorf("multinet: duplicate root %d", r)
+		}
+		seen[r] = true
+		c := cfg
+		c.Root = r
+		net, err := core.Build(g.Clone(), c)
+		if err != nil {
+			return nil, fmt.Errorf("multinet: building cluster-net rooted at %d: %w", r, err)
+		}
+		m.nets = append(m.nets, net)
+	}
+	return m, nil
+}
+
+// Nets returns the underlying networks in priority order.
+func (m *MultiNet) Nets() []*core.Network { return m.nets }
+
+// Roots returns the sinks in priority order.
+func (m *MultiNet) Roots() []graph.NodeID {
+	out := make([]graph.NodeID, len(m.nets))
+	for i, n := range m.nets {
+		out[i] = n.Root()
+	}
+	return out
+}
+
+// Size returns the node count (identical across cluster-nets).
+func (m *MultiNet) Size() int { return m.nets[0].Size() }
+
+// Join applies node-move-in on every cluster-net.
+func (m *MultiNet) Join(id graph.NodeID, neighbors []graph.NodeID) error {
+	for _, n := range m.nets {
+		if err := n.Join(id, neighbors); err != nil {
+			return fmt.Errorf("multinet: join on net rooted at %d: %w", n.Root(), err)
+		}
+	}
+	return nil
+}
+
+// Leave applies node-move-out on every cluster-net. Sinks cannot leave
+// (drop the whole cluster-net instead, or rebuild).
+func (m *MultiNet) Leave(id graph.NodeID) error {
+	for _, n := range m.nets {
+		if id == n.Root() {
+			return fmt.Errorf("multinet: %d is the sink of a cluster-net; remove that cluster-net instead", id)
+		}
+	}
+	for _, n := range m.nets {
+		if err := n.Leave(id); err != nil {
+			return fmt.Errorf("multinet: leave on net rooted at %d: %w", n.Root(), err)
+		}
+	}
+	return nil
+}
+
+// Verify checks every cluster-net.
+func (m *MultiNet) Verify() error {
+	for _, n := range m.nets {
+		if err := n.Verify(); err != nil {
+			return fmt.Errorf("multinet: net rooted at %d: %w", n.Root(), err)
+		}
+	}
+	return nil
+}
+
+// FailoverResult reports a failover broadcast.
+type FailoverResult struct {
+	// Attempts lists the per-cluster-net metrics in the order tried.
+	Attempts []broadcast.Metrics
+	// Used is the index of the attempt whose result is final.
+	Used int
+	// TotalRounds sums rounds across attempts (retries cost time).
+	TotalRounds int
+}
+
+// Final returns the metrics of the attempt that was accepted.
+func (r FailoverResult) Final() broadcast.Metrics { return r.Attempts[r.Used] }
+
+// Broadcast runs the CFF broadcast on the primary cluster-net and fails
+// over to the next one whenever the attempt does not reach every node
+// (e.g. the sink or a cut of relays died). The same failure schedule is
+// replayed against each attempt — a node that died stays dead, which the
+// per-attempt options express by shifting failure rounds to 1 for later
+// attempts. The best attempt so far is kept if all fail.
+func (m *MultiNet) Broadcast(source graph.NodeID, opts broadcast.Options) (FailoverResult, error) {
+	var res FailoverResult
+	best := -1
+	for i, n := range m.nets {
+		attemptOpts := opts
+		if i > 0 {
+			// Failures from earlier attempts have already happened.
+			attemptOpts.Failures = pastFailures(opts.Failures)
+		}
+		src := source
+		if !n.Contains(src) {
+			src = n.Root()
+		}
+		metrics, err := n.Broadcast(src, attemptOpts)
+		if err != nil {
+			return FailoverResult{}, err
+		}
+		res.Attempts = append(res.Attempts, metrics)
+		res.TotalRounds += metrics.Rounds
+		if best == -1 || metrics.Received > res.Attempts[best].Received {
+			best = i
+		}
+		if metrics.Completed {
+			best = i
+			break
+		}
+	}
+	res.Used = best
+	return res, nil
+}
+
+func pastFailures(in []broadcast.NodeFailure) []broadcast.NodeFailure {
+	out := make([]broadcast.NodeFailure, len(in))
+	for i, f := range in {
+		out[i] = broadcast.NodeFailure{Node: f.Node, Round: 1}
+	}
+	return out
+}

@@ -1,0 +1,388 @@
+// Package radio implements the paper's sensor-network model (Section 3.1)
+// as a round-synchronous radio simulator:
+//
+//   - all nodes share a round clock; in each round a node is a transmitter,
+//     a receiver, or asleep;
+//   - nodes have no collision detection: a receiver gets a message in a
+//     round iff exactly one of its neighbors transmits in that round on the
+//     channel it is tuned to;
+//   - k radio channels are supported (the paper's multi-channel extension);
+//   - energy is accounted as awake rounds (listen + transmit), matching the
+//     paper's energy metric;
+//   - node and link failures can be injected at chosen rounds for the
+//     robustness experiments.
+//
+// Protocols are written as per-node Programs; the engine drives them and
+// measures what actually happened, so broadcast completion times, awake
+// counts and collision counts in the experiment harness are observations,
+// not formulas.
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynsens/internal/graph"
+)
+
+// Channel identifies a radio channel, 0-based.
+type Channel int
+
+// NoNode is a sentinel for "no designated node" in Message fields.
+const NoNode graph.NodeID = -1
+
+// Message is the over-the-air packet. Its fields are a union of what the
+// paper's protocols carry: the broadcast payload identity, the
+// transmitter's time-slot and depth (CFF packages (m, t, Delta, i)), the
+// largest slot and tree height (improved CFF), a designated-receiver ID
+// (the DFO token), and a multicast group.
+type Message struct {
+	Seq     int          // payload identity; all copies of one broadcast share it
+	Src     graph.NodeID // original source of the payload
+	From    graph.NodeID // transmitter; stamped by the engine on delivery
+	Dst     graph.NodeID // designated receiver (DFO token target), NoNode if none
+	Slot    int          // transmitter's time-slot t
+	Depth   int          // transmitter's depth i
+	MaxSlot int          // Delta or delta carried in the package
+	Height  int          // CNet height h carried by improved CFF
+	Group   int          // multicast group ID; 0 means plain broadcast
+	Value   int64        // aggregated payload for data gathering
+}
+
+// ActionKind says what a node does in a round.
+type ActionKind int
+
+const (
+	// Sleep: radio off; costs no energy.
+	Sleep ActionKind = iota
+	// Listen: receive on Action.Channel; costs one awake round.
+	Listen
+	// Transmit: send Action.Msg on Action.Channel; costs one awake round.
+	Transmit
+)
+
+// String names the action kind.
+func (k ActionKind) String() string {
+	switch k {
+	case Sleep:
+		return "sleep"
+	case Listen:
+		return "listen"
+	case Transmit:
+		return "transmit"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Action is a node's choice for one round.
+type Action struct {
+	Kind    ActionKind
+	Channel Channel
+	Msg     Message // for Transmit
+}
+
+// SleepAction is the zero-cost action.
+func SleepAction() Action { return Action{Kind: Sleep} }
+
+// ListenOn tunes the radio to ch for one round.
+func ListenOn(ch Channel) Action { return Action{Kind: Listen, Channel: ch} }
+
+// TransmitOn sends msg on ch.
+func TransmitOn(ch Channel, msg Message) Action {
+	return Action{Kind: Transmit, Channel: ch, Msg: msg}
+}
+
+// Program is a per-node protocol state machine. The engine calls Act at the
+// start of each round; if the node listened and reception succeeded it calls
+// Deliver with the message before the next round's Act. Done lets the engine
+// stop early once every live node reports local termination.
+type Program interface {
+	Act(round int) Action
+	Deliver(round int, msg Message)
+	Done() bool
+}
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// EvTransmit: a node transmitted.
+	EvTransmit EventKind = iota
+	// EvDeliver: a listening node received a message.
+	EvDeliver
+	// EvCollision: a listening node heard >= 2 transmitters on its channel.
+	EvCollision
+	// EvNodeFail: a node died.
+	EvNodeFail
+	// EvLinkFail: a link was cut.
+	EvLinkFail
+)
+
+// Event is a trace record.
+type Event struct {
+	Round   int
+	Kind    EventKind
+	Node    graph.NodeID
+	Peer    graph.NodeID // EvLinkFail: other endpoint; EvDeliver: transmitter
+	Channel Channel
+	Msg     Message
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Quiesced is true if every live program reported Done before the
+	// round limit.
+	Quiesced bool
+	// Awake maps each node to its awake-round count (listen + transmit).
+	Awake map[graph.NodeID]int
+	// Listens and Transmits split Awake by activity, for energy models
+	// that price reception and transmission differently.
+	Listens   map[graph.NodeID]int
+	Transmits map[graph.NodeID]int
+	// Deliveries is the number of successful receptions.
+	Deliveries int
+	// Collisions is the number of (listener, round) pairs that heard two
+	// or more simultaneous transmitters on their channel.
+	Collisions int
+	// Transmissions is the total number of transmit actions.
+	Transmissions int
+}
+
+// MaxAwake returns the largest per-node awake count.
+func (r Result) MaxAwake() int {
+	m := 0
+	for _, a := range r.Awake {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// MeanAwake returns the mean per-node awake count (0 for empty runs).
+func (r Result) MeanAwake() float64 {
+	if len(r.Awake) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, a := range r.Awake {
+		sum += a
+	}
+	return float64(sum) / float64(len(r.Awake))
+}
+
+type linkKey struct{ a, b graph.NodeID }
+
+func mkLink(u, v graph.NodeID) linkKey {
+	if u > v {
+		u, v = v, u
+	}
+	return linkKey{u, v}
+}
+
+// Engine drives a set of Programs over a graph.
+type Engine struct {
+	g        *graph.Graph
+	programs map[graph.NodeID]Program
+	nodeFail map[graph.NodeID]int // node -> round it dies (inclusive)
+	linkFail map[linkKey]int      // link -> round it is cut (inclusive)
+	skew     map[graph.NodeID]int // node -> local clock offset in rounds
+	trace    func(Event)
+
+	// lossRate drops each (transmitter, listener, round) frame
+	// independently with this probability; lossRng drives the coins.
+	lossRate float64
+	lossRng  *rand.Rand
+}
+
+// NewEngine builds an engine over g. programs must contain an entry for
+// every node of g.
+func NewEngine(g *graph.Graph, programs map[graph.NodeID]Program) (*Engine, error) {
+	for _, id := range g.Nodes() {
+		if programs[id] == nil {
+			return nil, fmt.Errorf("radio: no program for node %d", id)
+		}
+	}
+	if len(programs) != g.NumNodes() {
+		return nil, fmt.Errorf("radio: %d programs for %d nodes", len(programs), g.NumNodes())
+	}
+	return &Engine{
+		g:        g,
+		programs: programs,
+		nodeFail: make(map[graph.NodeID]int),
+		linkFail: make(map[linkKey]int),
+		skew:     make(map[graph.NodeID]int),
+	}, nil
+}
+
+// SetTrace installs a trace callback (nil disables tracing).
+func (e *Engine) SetTrace(fn func(Event)) { e.trace = fn }
+
+// FailNodeAt schedules node id to die at the start of round r (1-based);
+// from round r on it neither transmits nor listens.
+func (e *Engine) FailNodeAt(id graph.NodeID, r int) { e.nodeFail[id] = r }
+
+// FailLinkAt schedules the link {u, v} to be cut at the start of round r.
+func (e *Engine) FailLinkAt(u, v graph.NodeID, r int) { e.linkFail[mkLink(u, v)] = r }
+
+// SetClockSkew gives node id a local clock offset: at global round r the
+// node believes the round is r+offset and acts accordingly. This models
+// the imperfect synchronization Section 3.3 discusses — TDM schedules
+// tolerate skew only up to their guard margins, which the skew experiment
+// measures.
+func (e *Engine) SetClockSkew(id graph.NodeID, offset int) { e.skew[id] = offset }
+
+func (e *Engine) localRound(id graph.NodeID, round int) int { return round + e.skew[id] }
+
+// SetLoss makes every frame be lost independently with probability rate on
+// each listener (fading, interference from outside the model). Lost frames
+// are neither delivered nor do they jam: the listener simply never hears
+// them. Determinstic per seed.
+func (e *Engine) SetLoss(rate float64, seed int64) error {
+	if rate < 0 || rate >= 1 {
+		return fmt.Errorf("radio: loss rate %v out of [0,1)", rate)
+	}
+	e.lossRate = rate
+	e.lossRng = rand.New(rand.NewSource(seed))
+	return nil
+}
+
+func (e *Engine) frameLost() bool {
+	return e.lossRate > 0 && e.lossRng.Float64() < e.lossRate
+}
+
+func (e *Engine) nodeAlive(id graph.NodeID, round int) bool {
+	r, ok := e.nodeFail[id]
+	return !ok || round < r
+}
+
+func (e *Engine) linkAlive(u, v graph.NodeID, round int) bool {
+	r, ok := e.linkFail[mkLink(u, v)]
+	return !ok || round < r
+}
+
+func (e *Engine) emit(ev Event) {
+	if e.trace != nil {
+		e.trace(ev)
+	}
+}
+
+// Run executes up to maxRounds rounds (1-based round numbers) and returns
+// the observed result. It stops early once every live program is Done.
+func (e *Engine) Run(maxRounds int) Result {
+	res := Result{
+		Awake:     make(map[graph.NodeID]int, e.g.NumNodes()),
+		Listens:   make(map[graph.NodeID]int, e.g.NumNodes()),
+		Transmits: make(map[graph.NodeID]int, e.g.NumNodes()),
+	}
+	nodes := e.g.Nodes()
+	for _, id := range nodes {
+		res.Awake[id] = 0
+	}
+	type tx struct {
+		from graph.NodeID
+		msg  Message
+	}
+	for round := 1; round <= maxRounds; round++ {
+		// Emit failure events exactly once, at the failing round.
+		for id, r := range e.nodeFail {
+			if r == round {
+				e.emit(Event{Round: round, Kind: EvNodeFail, Node: id})
+			}
+		}
+		for lk, r := range e.linkFail {
+			if r == round {
+				e.emit(Event{Round: round, Kind: EvLinkFail, Node: lk.a, Peer: lk.b})
+			}
+		}
+
+		// Check global quiescence among live nodes.
+		allDone := true
+		for _, id := range nodes {
+			if e.nodeAlive(id, round) && !e.programs[id].Done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			res.Rounds = round - 1
+			res.Quiesced = true
+			return res
+		}
+
+		// Gather actions.
+		transmitters := make(map[Channel][]tx)
+		listeners := make(map[graph.NodeID]Channel)
+		for _, id := range nodes {
+			if !e.nodeAlive(id, round) {
+				continue
+			}
+			a := e.programs[id].Act(e.localRound(id, round))
+			switch a.Kind {
+			case Sleep:
+				// no cost
+			case Listen:
+				res.Awake[id]++
+				res.Listens[id]++
+				listeners[id] = a.Channel
+			case Transmit:
+				res.Awake[id]++
+				res.Transmits[id]++
+				res.Transmissions++
+				m := a.Msg
+				m.From = id
+				transmitters[a.Channel] = append(transmitters[a.Channel], tx{from: id, msg: m})
+				e.emit(Event{Round: round, Kind: EvTransmit, Node: id, Channel: a.Channel, Msg: m})
+			default:
+				panic(fmt.Sprintf("radio: node %d returned invalid action kind %d", id, a.Kind))
+			}
+		}
+
+		// Resolve receptions: exactly one transmitting neighbor on the
+		// listened channel, over live links.
+		for _, id := range nodes {
+			ch, ok := listeners[id]
+			if !ok {
+				continue
+			}
+			var heard []tx
+			for _, t := range transmitters[ch] {
+				if t.from == id {
+					continue
+				}
+				if !e.g.HasEdge(id, t.from) {
+					continue
+				}
+				if !e.linkAlive(id, t.from, round) {
+					continue
+				}
+				if e.frameLost() {
+					continue
+				}
+				heard = append(heard, t)
+			}
+			switch {
+			case len(heard) == 1:
+				res.Deliveries++
+				e.emit(Event{Round: round, Kind: EvDeliver, Node: id, Peer: heard[0].from, Channel: ch, Msg: heard[0].msg})
+				e.programs[id].Deliver(e.localRound(id, round), heard[0].msg)
+			case len(heard) > 1:
+				res.Collisions++
+				e.emit(Event{Round: round, Kind: EvCollision, Node: id, Channel: ch})
+			}
+		}
+		res.Rounds = round
+	}
+	// Final quiescence check after the last round.
+	res.Quiesced = true
+	for _, id := range nodes {
+		if e.nodeAlive(id, maxRounds+1) && !e.programs[id].Done() {
+			res.Quiesced = false
+			break
+		}
+	}
+	return res
+}

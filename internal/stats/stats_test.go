@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string render")
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{1, 2, 3})
+	if s.Mean != 2 || s.N != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Fig X", "n", "rounds")
+	tb.AddRow("100", "42")
+	tb.AddRow("200", "84")
+	out := tb.String()
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "rounds") {
+		t.Fatalf("render missing parts:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Short rows padded.
+	tb.AddRow("300")
+	if !strings.Contains(tb.String(), "300") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1", `x,"y`)
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,\"\"y\"\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "n", "v")
+	tb.AddRowf("%d %.1f", 5, 2.5)
+	if tb.Rows[0][0] != "5" || tb.Rows[0][1] != "2.5" {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(3) != "3" {
+		t.Fatalf("F(3) = %s", F(3))
+	}
+	if F(3.14) != "3.1" {
+		t.Fatalf("F(3.14) = %s", F(3.14))
+	}
+	if F(-2) != "-2" {
+		t.Fatalf("F(-2) = %s", F(-2))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {20, 1}, {40, 2}, {50, 3}, {80, 4}, {100, 5}, {95, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Fatalf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated input")
+	}
+	if PercentileInts([]int{9, 7, 8}, 50) != 8 {
+		t.Fatal("PercentileInts wrong")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := float64(pRaw) / 2.55 // 0..100
+		v := Percentile(xs, p)
+		s := Summarize(xs)
+		if v < s.Min || v > s.Max {
+			return false
+		}
+		return Percentile(xs, p) <= Percentile(xs, p+10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Min <= Mean <= Max, and Std >= 0; constant series have Std 0.
+func TestSummaryProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Min > s.Mean+1e-9 || s.Mean > s.Max+1e-9 || s.Std < 0 {
+			return false
+		}
+		c := Summarize([]float64{xs[0], xs[0], xs[0]})
+		return c.Std == 0 && c.Mean == xs[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,393 @@
+package timeslot
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynsens/internal/cnet"
+	"dynsens/internal/graph"
+	"dynsens/internal/workload"
+)
+
+func buildNet(t testing.TB, seed int64, n int) *cnet.CNet {
+	t.Helper()
+	d, err := workload.IncrementalConnected(workload.PaperConfig(seed, 8, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := cnet.BuildFromGraph(d.Graph(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSingleNodeNetwork(t *testing.T) {
+	c := cnet.New(0, nil)
+	a := New(c, ConditionStrict)
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Delta() != 0 || a.SmallDelta() != 0 {
+		t.Fatalf("slots on singleton: Delta=%d delta=%d", a.Delta(), a.SmallDelta())
+	}
+}
+
+func TestRootWithMembers(t *testing.T) {
+	c := cnet.New(0, nil)
+	for i := 1; i <= 3; i++ {
+		if _, _, err := c.MoveIn(graph.NodeID(i), []graph.NodeID{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := New(c, ConditionStrict)
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Root is the only head with members: it needs an l-slot and a u-slot
+	// but no b-slot (no backbone children).
+	if _, ok := a.Slot(L, 0); !ok {
+		t.Fatal("root lacks l-slot")
+	}
+	if _, ok := a.Slot(U, 0); !ok {
+		t.Fatal("root lacks u-slot")
+	}
+	if _, ok := a.Slot(B, 0); ok {
+		t.Fatal("root has spurious b-slot")
+	}
+	// Members hold no slots.
+	for i := 1; i <= 3; i++ {
+		for _, k := range []Kind{B, L, U} {
+			if _, ok := a.Slot(k, graph.NodeID(i)); ok {
+				t.Fatalf("member %d holds %v", i, k)
+			}
+		}
+	}
+}
+
+func TestAssignAllVerifiesOnPaperNetworks(t *testing.T) {
+	for _, n := range []int{10, 60, 150} {
+		for _, cond := range []Condition{ConditionStrict, ConditionPaper} {
+			c := buildNet(t, int64(n)+int64(cond)*97, n)
+			a := New(c, cond)
+			if err := a.Verify(); err != nil {
+				t.Fatalf("n=%d cond=%v: %v", n, cond, err)
+			}
+			if err := a.CheckBounds(); err != nil {
+				t.Fatalf("n=%d cond=%v: %v", n, cond, err)
+			}
+		}
+	}
+}
+
+func TestDesignatedIsUniqueAndAdjacent(t *testing.T) {
+	c := buildNet(t, 9, 80)
+	a := New(c, ConditionStrict)
+	g := c.Graph()
+	for _, v := range c.Tree().Nodes() {
+		for _, k := range []Kind{B, L, U} {
+			if !a.IsReceiver(k, v) {
+				continue
+			}
+			u, slot, ok := a.Designated(k, v)
+			if !ok {
+				t.Fatalf("no designated %v transmitter for %d", k, v)
+			}
+			if !g.HasEdge(u, v) {
+				t.Fatalf("designated %d not adjacent to %d", u, v)
+			}
+			if s, _ := a.Slot(k, u); s != slot {
+				t.Fatalf("designated slot mismatch for %d", v)
+			}
+			// Uniqueness within the interference set.
+			n := 0
+			for _, w := range a.InterferenceSet(k, v) {
+				if s, _ := a.Slot(k, w); s == slot {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Fatalf("designated slot of %d appears %d times", v, n)
+			}
+		}
+	}
+}
+
+func TestInterferenceSetContainsParent(t *testing.T) {
+	c := buildNet(t, 21, 60)
+	a := New(c, ConditionStrict)
+	for _, v := range c.Tree().Nodes() {
+		p, ok := c.Tree().Parent(v)
+		if !ok {
+			continue
+		}
+		for _, k := range []Kind{B, L, U} {
+			if !a.IsReceiver(k, v) || !a.IsTransmitter(k, p) {
+				continue
+			}
+			found := false
+			for _, u := range a.InterferenceSet(k, v) {
+				if u == p {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("parent %d missing from %v interference set of %d", p, k, v)
+			}
+		}
+	}
+}
+
+func TestStrictSupersetOfPaperForL(t *testing.T) {
+	c := buildNet(t, 33, 120)
+	strict := New(c, ConditionStrict)
+	paper := New(c, ConditionPaper)
+	for _, v := range c.Members() {
+		ps := paper.InterferenceSet(L, v)
+		ss := strict.InterferenceSet(L, v)
+		if len(ss) < len(ps) {
+			t.Fatalf("strict set smaller than paper set for %d", v)
+		}
+		in := make(map[graph.NodeID]bool)
+		for _, u := range ss {
+			in[u] = true
+		}
+		for _, u := range ps {
+			if !in[u] {
+				t.Fatalf("paper member %d missing from strict set of %d", u, v)
+			}
+		}
+	}
+}
+
+func TestOnJoinIncremental(t *testing.T) {
+	c := cnet.New(0, nil)
+	a := New(c, ConditionStrict)
+	d, err := workload.IncrementalConnected(workload.PaperConfig(5, 8, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Graph()
+	// Insert nodes one at a time, updating slots incrementally after each.
+	order := g.BFS(0).Order
+	for _, id := range order[1:] {
+		var nbrs []graph.NodeID
+		for _, nb := range g.Neighbors(id) {
+			if c.Contains(nb) {
+				nbrs = append(nbrs, nb)
+			}
+		}
+		if _, _, err := c.MoveIn(id, nbrs); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.OnJoin(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Verify(); err != nil {
+			t.Fatalf("after join of %d: %v", id, err)
+		}
+	}
+	if err := a.CheckBounds(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds() <= 0 || a.Recalcs() <= 0 {
+		t.Fatalf("no maintenance cost recorded: rounds=%d recalcs=%d", a.Rounds(), a.Recalcs())
+	}
+}
+
+func TestOnJoinUnknownNode(t *testing.T) {
+	c := cnet.New(0, nil)
+	a := New(c, ConditionStrict)
+	if err := a.OnJoin(42); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestOnMoveOut(t *testing.T) {
+	c := buildNet(t, 13, 50)
+	a := New(c, ConditionStrict)
+	rng := rand.New(rand.NewSource(13))
+	removed := 0
+	for k := 0; k < 10 && c.Size() > 3; k++ {
+		nodes := c.Tree().Nodes()
+		victim := nodes[rng.Intn(len(nodes))]
+		if victim == c.Root() {
+			continue
+		}
+		res := c.Graph().Clone()
+		res.RemoveNode(victim)
+		if !res.Connected() {
+			continue
+		}
+		rec, _, err := c.MoveOut(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.OnMoveOut(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Verify(); err != nil {
+			t.Fatalf("after move-out of %d: %v", victim, err)
+		}
+		removed++
+	}
+	if removed == 0 {
+		t.Skip("no removable nodes in this seed")
+	}
+}
+
+func TestOnMoveOutRootRebuild(t *testing.T) {
+	c := buildNet(t, 3, 40)
+	res := c.Graph().Clone()
+	res.RemoveNode(c.Root())
+	if !res.Connected() {
+		t.Skip("seed yields cut-vertex root")
+	}
+	a := New(c, ConditionStrict)
+	rec, _, err := c.MoveOut(c.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.OnMoveOut(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnCrash(t *testing.T) {
+	c := buildNet(t, 61, 60)
+	a := New(c, ConditionStrict)
+	// Crash two non-root nodes.
+	var dead []graph.NodeID
+	for _, id := range c.Tree().Nodes() {
+		if id != c.Root() && len(dead) < 2 {
+			dead = append(dead, id)
+		}
+	}
+	rec, _, err := c.RemoveCrashed(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.OnCrash(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatalf("slots after crash: %v", err)
+	}
+	// No stale entries for departed nodes.
+	for _, k := range []Kind{B, L, U} {
+		for _, d := range dead {
+			if _, ok := a.Slot(k, d); ok {
+				t.Fatalf("dead node %d still holds a %v", d, k)
+			}
+		}
+	}
+}
+
+func TestOnCrashRootReplaced(t *testing.T) {
+	c := buildNet(t, 62, 50)
+	a := New(c, ConditionStrict)
+	rec, _, err := c.RemoveCrashed([]graph.NodeID{c.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.RootReplaced {
+		t.Fatal("root not replaced")
+	}
+	if err := a.OnCrash(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckBounds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConditionModeAccessor(t *testing.T) {
+	c := cnet.New(0, nil)
+	if New(c, ConditionPaper).ConditionMode() != ConditionPaper {
+		t.Fatal("condition mode lost")
+	}
+	if New(c, ConditionStrict).Net() != c {
+		t.Fatal("net accessor wrong")
+	}
+}
+
+func TestLemma3BoundsAndSimulationClaim(t *testing.T) {
+	// Section 6 observes that measured delta and Delta are far below the
+	// Lemma 3 bounds (and in simulation even below d and D themselves).
+	c := buildNet(t, 77, 200)
+	a := New(c, ConditionStrict)
+	st := c.ComputeStats()
+	if a.SmallDelta() > st.DegreeBT*(st.DegreeBT+1)/2+1 {
+		t.Fatalf("delta=%d exceeds Lemma 3 bound for d=%d", a.SmallDelta(), st.DegreeBT)
+	}
+	if a.Delta() > st.DegreeG*(st.DegreeG+1)/2+1 {
+		t.Fatalf("Delta=%d exceeds Lemma 3 bound for D=%d", a.Delta(), st.DegreeG)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if B.String() != "b-time-slot" || L.String() != "l-time-slot" || U.String() != "u-time-slot" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should format")
+	}
+}
+
+func TestMaxOnEmptyKind(t *testing.T) {
+	c := cnet.New(0, nil)
+	a := New(c, ConditionStrict)
+	if a.Max(B) != 0 {
+		t.Fatalf("Max(B) = %d on empty", a.Max(B))
+	}
+}
+
+// Property: for random paper deployments under both conditions, assignment
+// verifies, respects Lemma 3 bounds, and incremental joins preserve both.
+func TestAssignmentProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, strict bool) bool {
+		n := int(nRaw%60) + 2
+		cond := ConditionPaper
+		if strict {
+			cond = ConditionStrict
+		}
+		d, err := workload.IncrementalConnected(workload.PaperConfig(seed, 8, n))
+		if err != nil {
+			return false
+		}
+		c, _, err := cnet.BuildFromGraph(d.Graph(), 0, nil)
+		if err != nil {
+			return false
+		}
+		a := New(c, cond)
+		if a.Verify() != nil || a.CheckBounds() != nil {
+			return false
+		}
+		// One incremental join at a random position.
+		g := d.Graph()
+		rng := rand.New(rand.NewSource(seed))
+		anchor := graph.NodeID(rng.Intn(n))
+		id := graph.NodeID(n + 1000)
+		nbrs := []graph.NodeID{anchor}
+		for _, nb := range g.Neighbors(anchor) {
+			nbrs = append(nbrs, nb)
+		}
+		if _, _, err := c.MoveIn(id, nbrs); err != nil {
+			return false
+		}
+		if err := a.OnJoin(id); err != nil {
+			return false
+		}
+		return a.Verify() == nil && a.CheckBounds() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

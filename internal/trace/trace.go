@@ -1,0 +1,159 @@
+// Package trace records radio-engine events and renders round-by-round
+// protocol timelines — the debugging view of what a broadcast actually did
+// on the air: who transmitted on which channel, who received from whom,
+// where collisions happened, and which nodes died.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dynsens/internal/radio"
+)
+
+// KindName returns a short label for an event kind.
+func KindName(k radio.EventKind) string {
+	switch k {
+	case radio.EvTransmit:
+		return "tx"
+	case radio.EvDeliver:
+		return "rx"
+	case radio.EvCollision:
+		return "collision"
+	case radio.EvNodeFail:
+		return "node-fail"
+	case radio.EvLinkFail:
+		return "link-fail"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Recorder collects events up to a limit (0 = unlimited).
+type Recorder struct {
+	limit   int
+	events  []radio.Event
+	dropped int
+}
+
+// NewRecorder creates a recorder keeping at most limit events (0 keeps
+// everything).
+func NewRecorder(limit int) *Recorder { return &Recorder{limit: limit} }
+
+// Hook returns the callback to install with Engine.SetTrace or
+// broadcast.Options.Trace.
+func (r *Recorder) Hook() func(radio.Event) {
+	return func(ev radio.Event) {
+		if r.limit > 0 && len(r.events) >= r.limit {
+			r.dropped++
+			return
+		}
+		r.events = append(r.events, ev)
+	}
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Dropped returns how many events exceeded the limit.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Events returns the recorded events (shared slice; do not modify).
+func (r *Recorder) Events() []radio.Event { return r.events }
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	r.events = r.events[:0]
+	r.dropped = 0
+}
+
+// Counts tallies events per kind.
+func (r *Recorder) Counts() map[radio.EventKind]int {
+	out := make(map[radio.EventKind]int)
+	for _, ev := range r.events {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// ChannelLoad counts transmissions per channel.
+func (r *Recorder) ChannelLoad() map[radio.Channel]int {
+	out := make(map[radio.Channel]int)
+	for _, ev := range r.events {
+		if ev.Kind == radio.EvTransmit {
+			out[ev.Channel]++
+		}
+	}
+	return out
+}
+
+// LastRound returns the highest round seen (0 when empty).
+func (r *Recorder) LastRound() int {
+	max := 0
+	for _, ev := range r.events {
+		if ev.Round > max {
+			max = ev.Round
+		}
+	}
+	return max
+}
+
+// Render writes a per-round timeline. Rounds with no events are skipped.
+func (r *Recorder) Render(w io.Writer) error {
+	byRound := make(map[int][]radio.Event)
+	for _, ev := range r.events {
+		byRound[ev.Round] = append(byRound[ev.Round], ev)
+	}
+	rounds := make([]int, 0, len(byRound))
+	for round := range byRound {
+		rounds = append(rounds, round)
+	}
+	sort.Ints(rounds)
+	for _, round := range rounds {
+		if _, err := fmt.Fprintf(w, "round %d:\n", round); err != nil {
+			return err
+		}
+		evs := byRound[round]
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].Kind != evs[j].Kind {
+				return evs[i].Kind < evs[j].Kind
+			}
+			return evs[i].Node < evs[j].Node
+		})
+		for _, ev := range evs {
+			var line string
+			switch ev.Kind {
+			case radio.EvTransmit:
+				line = fmt.Sprintf("  tx    node %-4d ch %d slot %d", ev.Node, ev.Channel, ev.Msg.Slot)
+			case radio.EvDeliver:
+				line = fmt.Sprintf("  rx    node %-4d <- %-4d ch %d", ev.Node, ev.Peer, ev.Channel)
+			case radio.EvCollision:
+				line = fmt.Sprintf("  COLL  node %-4d ch %d", ev.Node, ev.Channel)
+			case radio.EvNodeFail:
+				line = fmt.Sprintf("  DEAD  node %-4d", ev.Node)
+			case radio.EvLinkFail:
+				line = fmt.Sprintf("  CUT   link %d-%d", ev.Node, ev.Peer)
+			default:
+				line = fmt.Sprintf("  %s node %d", KindName(ev.Kind), ev.Node)
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	if r.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(%d events dropped beyond limit)\n", r.dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders one line of per-kind counts.
+func (r *Recorder) Summary() string {
+	c := r.Counts()
+	return fmt.Sprintf("events=%d tx=%d rx=%d collisions=%d node-fails=%d link-fails=%d (last round %d)",
+		len(r.events), c[radio.EvTransmit], c[radio.EvDeliver], c[radio.EvCollision],
+		c[radio.EvNodeFail], c[radio.EvLinkFail], r.LastRound())
+}

@@ -1,0 +1,352 @@
+// Package workload generates the simulation inputs of the paper's
+// evaluation: node deployments on square regions (64-720 nodes, 50 m range,
+// 800-1200 m squares), dynamic join/leave (churn) traces exercising
+// node-move-in/node-move-out, failure traces for the robustness comparison,
+// and multicast group assignments.
+//
+// Every generator is driven by an explicit seed so experiments are exactly
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynsens/internal/geom"
+	"dynsens/internal/graph"
+)
+
+// Config describes a deployment to generate.
+type Config struct {
+	Seed   int64
+	Region geom.Region
+	Range  float64 // communication range, meters
+	N      int     // number of nodes
+}
+
+// PaperConfig returns the paper's setup: a side x side units region with
+// 100 m units and 50 m communication range.
+func PaperConfig(seed int64, side, n int) Config {
+	return Config{
+		Seed:   seed,
+		Region: geom.SquareUnits(side, 100),
+		Range:  50,
+		N:      n,
+	}
+}
+
+// maxPlacementAttempts bounds rejection sampling per node before giving up.
+const maxPlacementAttempts = 200000
+
+// IncrementalConnected places N nodes one at a time: the first uniformly at
+// random, each later node uniformly at random but accepted only if it is
+// within communication range of an already-placed node. This mirrors the
+// paper's self-constructing network, where every arriving node performs
+// node-move-in and therefore must hear the existing network. The resulting
+// unit-disk graph is connected by construction at any density.
+func IncrementalConnected(cfg Config) (*geom.Deployment, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("workload: N must be positive, got %d", cfg.N)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &geom.Deployment{Region: cfg.Region, Range: cfg.Range}
+	d.Pos = append(d.Pos, randomPoint(rng, cfg.Region))
+	for len(d.Pos) < cfg.N {
+		placed := false
+		for attempt := 0; attempt < maxPlacementAttempts; attempt++ {
+			p := randomPoint(rng, cfg.Region)
+			if len(d.NeighborsOf(p, -1)) > 0 {
+				d.Pos = append(d.Pos, p)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("workload: could not connect node %d after %d attempts (range %.0f m too small for region)",
+				len(d.Pos), maxPlacementAttempts, cfg.Range)
+		}
+	}
+	return d, nil
+}
+
+// Uniform places N nodes independently and uniformly at random. The
+// resulting graph may be disconnected at low density; use LargestComponent
+// or IncrementalConnected when connectivity is required.
+func Uniform(cfg Config) *geom.Deployment {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &geom.Deployment{Region: cfg.Region, Range: cfg.Range}
+	for i := 0; i < cfg.N; i++ {
+		d.Pos = append(d.Pos, randomPoint(rng, cfg.Region))
+	}
+	return d
+}
+
+// LargestComponent restricts a deployment to its largest connected
+// component and returns the restricted deployment (node IDs are renumbered
+// densely, preserving relative order) along with the kept original indices.
+func LargestComponent(d *geom.Deployment) (*geom.Deployment, []int) {
+	g := d.Graph()
+	comps := g.Components()
+	best := -1
+	for i, c := range comps {
+		if best == -1 || len(c) > len(comps[best]) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return &geom.Deployment{Region: d.Region, Range: d.Range}, nil
+	}
+	var kept []int
+	out := &geom.Deployment{Region: d.Region, Range: d.Range}
+	for _, id := range comps[best] {
+		kept = append(kept, int(id))
+		out.Pos = append(out.Pos, d.Pos[int(id)])
+	}
+	return out, kept
+}
+
+func randomPoint(rng *rand.Rand, r geom.Region) geom.Point {
+	return geom.Point{X: rng.Float64() * r.Width, Y: rng.Float64() * r.Height}
+}
+
+// EventKind distinguishes churn events.
+type EventKind int
+
+const (
+	// Join adds a node at Pos.
+	Join EventKind = iota
+	// Leave removes node Node.
+	Leave
+)
+
+// String returns "join" or "leave".
+func (k EventKind) String() string {
+	switch k {
+	case Join:
+		return "join"
+	case Leave:
+		return "leave"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one churn step.
+type Event struct {
+	Kind EventKind
+	Node graph.NodeID // for Leave; for Join the new node's ID
+	Pos  geom.Point   // for Join
+}
+
+// ChurnTrace generates a sequence of joins and leaves starting from an
+// initial deployment. Leaves only remove nodes whose departure keeps the
+// remaining unit-disk graph connected (the paper's node-move-out assumes the
+// residual G is connected); joins place nodes that connect to the current
+// network. leaveFrac in [0,1] is the approximate fraction of leave events.
+// Returned events reference node IDs in the combined space: initial nodes
+// are 0..N-1 and joined nodes get fresh increasing IDs.
+func ChurnTrace(cfg Config, steps int, leaveFrac float64) (*geom.Deployment, []Event, error) {
+	base, err := IncrementalConnected(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	// live tracks current node positions by ID.
+	live := make(map[graph.NodeID]geom.Point, cfg.N)
+	for i, p := range base.Pos {
+		live[graph.NodeID(i)] = p
+	}
+	nextID := graph.NodeID(cfg.N)
+	var events []Event
+	for s := 0; s < steps; s++ {
+		doLeave := rng.Float64() < leaveFrac && len(live) > 2
+		if doLeave {
+			victim, ok := removableNode(live, base.Range, rng)
+			if ok {
+				delete(live, victim)
+				events = append(events, Event{Kind: Leave, Node: victim})
+				continue
+			}
+			// No removable node found; fall through to a join.
+		}
+		p, ok := connectedPoint(live, base.Region, base.Range, rng)
+		if !ok {
+			return nil, nil, fmt.Errorf("workload: churn join placement failed at step %d", s)
+		}
+		live[nextID] = p
+		events = append(events, Event{Kind: Join, Node: nextID, Pos: p})
+		nextID++
+	}
+	return base, events, nil
+}
+
+// MobilityTrace models node movement the way the paper's topology model
+// does ("a power-trained sensor node withdraws its connection from its
+// network ... and comes back"): each move is a Leave of node v immediately
+// followed by a Join of the same v at a new position. The new position is
+// sampled within wander*Range of the old one (falling back to anywhere in
+// the region), and both halves keep the network connected. The returned
+// events alternate Leave/Join pairs for the same node.
+func MobilityTrace(cfg Config, moves int, wander float64) (*geom.Deployment, []Event, error) {
+	if wander <= 0 {
+		wander = 2
+	}
+	base, err := IncrementalConnected(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	live := make(map[graph.NodeID]geom.Point, cfg.N)
+	for i, p := range base.Pos {
+		live[graph.NodeID(i)] = p
+	}
+	var events []Event
+	for m := 0; m < moves; m++ {
+		if len(live) <= 2 {
+			break
+		}
+		mover, ok := removableNode(live, base.Range, rng)
+		if !ok {
+			return nil, nil, fmt.Errorf("workload: no movable node at step %d", m)
+		}
+		old := live[mover]
+		delete(live, mover)
+		// Prefer a nearby spot; fall back to anywhere connected.
+		p, ok := nearbyConnectedPoint(live, base.Region, base.Range, old, wander*base.Range, rng)
+		if !ok {
+			p, ok = connectedPoint(live, base.Region, base.Range, rng)
+			if !ok {
+				return nil, nil, fmt.Errorf("workload: mobility rejoin failed at step %d", m)
+			}
+		}
+		events = append(events, Event{Kind: Leave, Node: mover})
+		events = append(events, Event{Kind: Join, Node: mover, Pos: p})
+		live[mover] = p
+	}
+	return base, events, nil
+}
+
+// nearbyConnectedPoint samples a point within radius of old that hears at
+// least one live node.
+func nearbyConnectedPoint(live map[graph.NodeID]geom.Point, region geom.Region, rng float64, old geom.Point, radius float64, r *rand.Rand) (geom.Point, bool) {
+	for attempt := 0; attempt < 2000; attempt++ {
+		p := geom.Point{
+			X: old.X + (r.Float64()*2-1)*radius,
+			Y: old.Y + (r.Float64()*2-1)*radius,
+		}
+		if !region.Contains(p) || p.Dist(old) > radius {
+			continue
+		}
+		for _, q := range live {
+			if p.InRange(q, rng) {
+				return p, true
+			}
+		}
+	}
+	return geom.Point{}, false
+}
+
+// removableNode picks a random live node whose removal keeps the unit-disk
+// graph of the remaining nodes connected.
+func removableNode(live map[graph.NodeID]geom.Point, rng float64, r *rand.Rand) (graph.NodeID, bool) {
+	ids := make([]graph.NodeID, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	// Deterministic base order, random starting offset.
+	sortIDs(ids)
+	off := r.Intn(len(ids))
+	g := udgOf(live, rng)
+	for k := 0; k < len(ids); k++ {
+		cand := ids[(off+k)%len(ids)]
+		h := g.Clone()
+		h.RemoveNode(cand)
+		if h.Connected() {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// connectedPoint samples a point in range of at least one live node.
+func connectedPoint(live map[graph.NodeID]geom.Point, region geom.Region, rng float64, r *rand.Rand) (geom.Point, bool) {
+	for attempt := 0; attempt < maxPlacementAttempts; attempt++ {
+		p := geom.Point{X: r.Float64() * region.Width, Y: r.Float64() * region.Height}
+		for _, q := range live {
+			if p.InRange(q, rng) {
+				return p, true
+			}
+		}
+	}
+	return geom.Point{}, false
+}
+
+func udgOf(live map[graph.NodeID]geom.Point, rng float64) *graph.Graph {
+	g := graph.New()
+	ids := make([]graph.NodeID, 0, len(live))
+	for id := range live {
+		g.AddNode(id)
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	for i, u := range ids {
+		for _, v := range ids[i+1:] {
+			if live[u].InRange(live[v], rng) {
+				_ = g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func sortIDs(ids []graph.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// Failure kills a node at the start of a given round during a broadcast.
+type Failure struct {
+	Node  graph.NodeID
+	Round int
+}
+
+// FailureTrace selects approximately frac of the nodes in g (never the
+// protected node, typically the broadcast source) and assigns each a
+// failure round uniform in [1, maxRound].
+func FailureTrace(g *graph.Graph, protected graph.NodeID, frac float64, maxRound int, seed int64) []Failure {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Failure
+	for _, id := range g.Nodes() {
+		if id == protected {
+			continue
+		}
+		if rng.Float64() < frac {
+			out = append(out, Failure{Node: id, Round: 1 + rng.Intn(maxRound)})
+		}
+	}
+	return out
+}
+
+// Groups assigns each node to zero or more of k multicast groups with
+// probability memberProb per group. Group IDs are 1..k, matching the
+// paper's example with groups (1) and (2). The map only contains nodes
+// with at least one group.
+func Groups(g *graph.Graph, k int, memberProb float64, seed int64) map[graph.NodeID][]int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[graph.NodeID][]int)
+	for _, id := range g.Nodes() {
+		var gs []int
+		for grp := 1; grp <= k; grp++ {
+			if rng.Float64() < memberProb {
+				gs = append(gs, grp)
+			}
+		}
+		if len(gs) > 0 {
+			out[id] = gs
+		}
+	}
+	return out
+}

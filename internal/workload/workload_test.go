@@ -1,0 +1,273 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynsens/internal/geom"
+	"dynsens/internal/graph"
+)
+
+func TestPaperConfig(t *testing.T) {
+	cfg := PaperConfig(1, 10, 300)
+	if cfg.Region.Width != 1000 || cfg.Region.Height != 1000 {
+		t.Fatalf("region = %+v", cfg.Region)
+	}
+	if cfg.Range != 50 || cfg.N != 300 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+func TestIncrementalConnectedIsConnected(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100} {
+		cfg := PaperConfig(42, 8, n)
+		d, err := IncrementalConnected(cfg)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d.NumNodes() != n {
+			t.Fatalf("n=%d: placed %d", n, d.NumNodes())
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !d.Graph().Connected() {
+			t.Fatalf("n=%d: disconnected deployment", n)
+		}
+	}
+}
+
+func TestIncrementalConnectedDeterministic(t *testing.T) {
+	cfg := PaperConfig(7, 10, 50)
+	a, err := IncrementalConnected(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := IncrementalConnected(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] {
+			t.Fatalf("node %d differs: %v vs %v", i, a.Pos[i], b.Pos[i])
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c, err := IncrementalConnected(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Pos[0] == a.Pos[0] && c.Pos[1] == a.Pos[1] {
+		t.Fatal("different seeds produced identical prefix")
+	}
+}
+
+func TestIncrementalConnectedRejectsBadN(t *testing.T) {
+	cfg := PaperConfig(1, 8, 0)
+	if _, err := IncrementalConnected(cfg); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestUniformAndLargestComponent(t *testing.T) {
+	cfg := PaperConfig(3, 12, 200)
+	d := Uniform(cfg)
+	if d.NumNodes() != 200 {
+		t.Fatalf("placed %d", d.NumNodes())
+	}
+	lc, kept := LargestComponent(d)
+	if lc.NumNodes() != len(kept) {
+		t.Fatalf("component size %d vs kept %d", lc.NumNodes(), len(kept))
+	}
+	if lc.NumNodes() == 0 || lc.NumNodes() > 200 {
+		t.Fatalf("component size %d", lc.NumNodes())
+	}
+	if !lc.Graph().Connected() {
+		t.Fatal("largest component not connected")
+	}
+	// Positions must match originals.
+	for i, orig := range kept {
+		if lc.Pos[i] != d.Pos[orig] {
+			t.Fatalf("position mismatch at %d", i)
+		}
+	}
+}
+
+func TestLargestComponentEmpty(t *testing.T) {
+	d := &geom.Deployment{Region: geom.Region{Width: 10, Height: 10}, Range: 1}
+	lc, kept := LargestComponent(d)
+	if lc.NumNodes() != 0 || kept != nil {
+		t.Fatal("empty deployment mishandled")
+	}
+}
+
+func TestChurnTraceKeepsConnectivity(t *testing.T) {
+	cfg := PaperConfig(5, 8, 40)
+	base, events, err := ChurnTrace(cfg, 30, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 30 {
+		t.Fatalf("got %d events", len(events))
+	}
+	// Replay the trace, checking connectivity after every event.
+	live := make(map[graph.NodeID]geom.Point)
+	for i, p := range base.Pos {
+		live[graph.NodeID(i)] = p
+	}
+	joins, leaves := 0, 0
+	for i, ev := range events {
+		switch ev.Kind {
+		case Join:
+			if _, dup := live[ev.Node]; dup {
+				t.Fatalf("event %d: join of existing node %d", i, ev.Node)
+			}
+			live[ev.Node] = ev.Pos
+			joins++
+		case Leave:
+			if _, ok := live[ev.Node]; !ok {
+				t.Fatalf("event %d: leave of absent node %d", i, ev.Node)
+			}
+			delete(live, ev.Node)
+			leaves++
+		}
+		if !udgOf(live, base.Range).Connected() {
+			t.Fatalf("disconnected after event %d (%v)", i, ev.Kind)
+		}
+	}
+	if joins == 0 {
+		t.Fatal("trace has no joins")
+	}
+	if leaves == 0 {
+		t.Fatal("trace has no leaves despite leaveFrac=0.4")
+	}
+}
+
+func TestMobilityTrace(t *testing.T) {
+	cfg := PaperConfig(8, 8, 40)
+	base, events, err := MobilityTrace(cfg, 15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 30 {
+		t.Fatalf("got %d events, want 30 (15 leave+join pairs)", len(events))
+	}
+	live := make(map[graph.NodeID]geom.Point)
+	for i, p := range base.Pos {
+		live[graph.NodeID(i)] = p
+	}
+	for i := 0; i < len(events); i += 2 {
+		lv, jn := events[i], events[i+1]
+		if lv.Kind != Leave || jn.Kind != Join {
+			t.Fatalf("pair %d malformed: %v %v", i/2, lv.Kind, jn.Kind)
+		}
+		if lv.Node != jn.Node {
+			t.Fatalf("pair %d moves different nodes: %d vs %d", i/2, lv.Node, jn.Node)
+		}
+		if _, ok := live[lv.Node]; !ok {
+			t.Fatalf("pair %d: unknown mover %d", i/2, lv.Node)
+		}
+		delete(live, lv.Node)
+		if !udgOf(live, base.Range).Connected() {
+			t.Fatalf("pair %d: leave disconnects", i/2)
+		}
+		if !base.Region.Contains(jn.Pos) {
+			t.Fatalf("pair %d: rejoin outside region", i/2)
+		}
+		live[jn.Node] = jn.Pos
+		if !udgOf(live, base.Range).Connected() {
+			t.Fatalf("pair %d: rejoin disconnects", i/2)
+		}
+	}
+	// Node count is conserved.
+	if len(live) != 40 {
+		t.Fatalf("node count drifted to %d", len(live))
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Join.String() != "join" || Leave.String() != "leave" {
+		t.Fatal("EventKind strings wrong")
+	}
+	if EventKind(9).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}
+
+func TestFailureTrace(t *testing.T) {
+	cfg := PaperConfig(9, 8, 50)
+	d, err := IncrementalConnected(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Graph()
+	fails := FailureTrace(g, 0, 0.3, 100, 17)
+	if len(fails) == 0 {
+		t.Fatal("no failures generated at frac=0.3")
+	}
+	for _, f := range fails {
+		if f.Node == 0 {
+			t.Fatal("protected node failed")
+		}
+		if f.Round < 1 || f.Round > 100 {
+			t.Fatalf("failure round %d out of range", f.Round)
+		}
+		if !g.HasNode(f.Node) {
+			t.Fatalf("failure of unknown node %d", f.Node)
+		}
+	}
+	// frac=0 yields none.
+	if got := FailureTrace(g, 0, 0, 100, 17); len(got) != 0 {
+		t.Fatalf("frac=0 produced %d failures", len(got))
+	}
+}
+
+func TestGroups(t *testing.T) {
+	cfg := PaperConfig(11, 8, 60)
+	d, err := IncrementalConnected(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Graph()
+	groups := Groups(g, 3, 0.5, 23)
+	if len(groups) == 0 {
+		t.Fatal("no group members")
+	}
+	for id, gs := range groups {
+		if !g.HasNode(id) {
+			t.Fatalf("group member %d not in graph", id)
+		}
+		if len(gs) == 0 {
+			t.Fatalf("node %d has empty group list", id)
+		}
+		for _, grp := range gs {
+			if grp < 1 || grp > 3 {
+				t.Fatalf("group id %d out of range", grp)
+			}
+		}
+	}
+	// Determinism.
+	again := Groups(g, 3, 0.5, 23)
+	if len(again) != len(groups) {
+		t.Fatal("Groups not deterministic")
+	}
+}
+
+// Property: for any seed/size, incremental placement yields a connected UDG
+// whose graph matches the deployment predicate.
+func TestIncrementalConnectedProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		cfg := PaperConfig(seed, 10, n)
+		d, err := IncrementalConnected(cfg)
+		if err != nil {
+			return false
+		}
+		g := d.Graph()
+		return g.Connected() && d.IsUnitDiskGraph(g) && d.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
