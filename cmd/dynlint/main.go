@@ -1,0 +1,161 @@
+// Command dynlint runs the repo's domain-specific static analyzers
+// (internal/lint) over the module and reports findings.
+//
+// Usage:
+//
+//	dynlint [-json] [-analyzers a,b] [pattern ...]
+//
+// Patterns are package directories relative to the current directory;
+// "./..." (the default) covers the whole module, "./internal/..." a
+// subtree. -analyzers restricts the run to a comma-separated subset of
+// the analyzers (-list prints the catalogue). The exit status is 0 when
+// clean, 1 when findings were reported, 2 on a load error.
+//
+// Findings are suppressed per line with
+//
+//	//lint:ignore dynlint/<analyzer> <reason>
+//
+// See docs/static-analysis.md for the analyzer catalogue.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dynsens/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	sel := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("dynlint/%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*sel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings, err := run(flag.Args(), analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynlint: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		if findings == nil {
+			findings = []lint.Finding{} // encode as [], not null
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "dynlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dynlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves a comma-separated -analyzers value against the
+// catalogue, defaulting to all.
+func selectAnalyzers(sel string) ([]*lint.Analyzer, error) {
+	if sel == "" {
+		return lint.All, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(lint.All))
+	var names []string
+	for _, a := range lint.All {
+		byName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(sel, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(names, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// run loads the module containing the working directory, lints it, and
+// keeps the findings matching the patterns. Positions are rewritten
+// relative to the working directory for readable, clickable output.
+func run(patterns []string, analyzers []*lint.Analyzer) ([]lint.Finding, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, err := lint.ModuleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := lint.Load(root)
+	if err != nil {
+		return nil, err
+	}
+	var kept []*lint.Package
+	for _, p := range pkgs {
+		if matchAny(root, cwd, p.RelDir, patterns) {
+			kept = append(kept, p)
+		}
+	}
+	findings := lint.Run(kept, analyzers)
+	for i := range findings {
+		if rel, err := filepath.Rel(cwd, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].Pos.Filename = rel
+		}
+	}
+	return findings, nil
+}
+
+// matchAny reports whether the package directory (relative to the module
+// root) matches one of the ./dir or ./dir/... patterns (relative to cwd).
+func matchAny(root, cwd, relDir string, patterns []string) bool {
+	pkgDir := filepath.Join(root, relDir)
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "...")
+			pat = strings.TrimSuffix(pat, "/")
+		}
+		if pat == "" || pat == "." {
+			pat = cwd
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			continue
+		}
+		if abs == pkgDir {
+			return true
+		}
+		if recursive && strings.HasPrefix(pkgDir+string(filepath.Separator), abs+string(filepath.Separator)) {
+			return true
+		}
+	}
+	return false
+}

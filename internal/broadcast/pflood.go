@@ -12,6 +12,8 @@ import (
 type PFloodOptions struct {
 	// Seed drives the per-node coin flips.
 	Seed int64
+	// Rand, when non-nil, supplies the coin flips instead of Seed.
+	Rand *rand.Rand
 	// Forward is the rebroadcast probability (1 = blind flooding, the
 	// "broadcast storm" regime of Ni et al. [16]).
 	Forward float64
@@ -100,7 +102,10 @@ func PFloodPlan(g *graph.Graph, source graph.NodeID, opts PFloodOptions) (*Plan,
 			horizon = 6*s + 20
 		}
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
 	progs := make(map[graph.NodeID]radio.Program, g.NumNodes())
 	for _, id := range g.Nodes() {
 		p := &pfloodNode{

@@ -285,6 +285,7 @@ func (c *CNet) Backbone() *graph.Tree {
 		// Parent of a backbone node is always a backbone node (heads hang
 		// off gateways and vice versa), so this cannot fail.
 		if err := bt.AddChild(id, p); err != nil {
+			//lint:ignore dynlint/panics unreachable while Verify holds: preorder guarantees the backbone parent was added first
 			panic(fmt.Sprintf("cnet: backbone parent of %d missing: %v", id, err))
 		}
 	}

@@ -2,6 +2,7 @@ package cnet
 
 import (
 	"fmt"
+	"sort"
 
 	"dynsens/internal/graph"
 )
@@ -155,10 +156,6 @@ func sortedKeys(m map[graph.NodeID]struct{}) []graph.NodeID {
 	for id := range m {
 		out = append(out, id)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -37,6 +37,10 @@ const (
 type Options struct {
 	// Seed drives all coin flips.
 	Seed int64
+	// Rand, when non-nil, supplies the coin flips instead of Seed. Inject
+	// a shared seeded source when a caller interleaves several randomized
+	// stages and wants one reproducible stream across all of them.
+	Rand *rand.Rand
 	// EpochLength is the number of probability levels per decay epoch
 	// (response probability is 2^-i for i = 0..EpochLength-1). Default 8.
 	EpochLength int
@@ -213,7 +217,10 @@ func Run(g *graph.Graph, joiner graph.NodeID, opts Options) (Result, error) {
 	if !g.HasNode(joiner) {
 		return Result{}, fmt.Errorf("discovery: joiner %d not in graph", joiner)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
 	jp := &joinerProg{id: joiner, opts: opts, discovered: make(map[graph.NodeID]bool)}
 	progs := map[graph.NodeID]radio.Program{joiner: jp}
 	for _, id := range g.Nodes() {

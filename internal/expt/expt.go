@@ -14,6 +14,7 @@ package expt
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 
@@ -39,6 +40,12 @@ type Params struct {
 	// seeded simulation, so parallel execution is deterministic: results
 	// are aggregated by point, not by arrival order.
 	Workers int
+	// NewRand, when non-nil, replaces the default rand construction for
+	// every auxiliary random stream (clock skew, crash sets, loss coins).
+	// It is called with a per-point derived seed and must return an
+	// independent source; tests use it to substitute instrumented or
+	// shared streams. Must be safe for concurrent calls when Workers > 1.
+	NewRand func(seed int64) *rand.Rand
 }
 
 func (p Params) workers() int {
@@ -46,6 +53,14 @@ func (p Params) workers() int {
 		return p.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// rng constructs the auxiliary random stream for a derived per-point seed.
+func (p Params) rng(seed int64) *rand.Rand {
+	if p.NewRand != nil {
+		return p.NewRand(seed)
+	}
+	return rand.New(rand.NewSource(seed))
 }
 
 // Default returns the paper's published configuration: the 10x10 region

@@ -2,7 +2,6 @@ package expt
 
 import (
 	"fmt"
-	"math/rand"
 
 	"dynsens/internal/broadcast"
 	"dynsens/internal/core"
@@ -69,7 +68,7 @@ func Multicast(p Params, fracs []float64) (*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			rng := rand.New(rand.NewSource(seed * 31))
+			rng := p.rng(seed * 31)
 			nodes := net.CNet().Tree().Nodes()
 			joined := 0
 			for _, id := range nodes {
@@ -170,7 +169,7 @@ func Reconfig(p Params) (*stats.Table, error) {
 			bounds = append(bounds, float64(2*st.Height+2*st.DegreeBT+st.DegreeG))
 
 			// Move-in: attach a fresh node next to a random existing one.
-			rng := rand.New(rand.NewSource(seed * 13))
+			rng := p.rng(seed * 13)
 			nodes := net.CNet().Tree().Nodes()
 			anchor := nodes[rng.Intn(len(nodes))]
 			nbrs := append([]graph.NodeID{anchor}, net.Graph().Neighbors(anchor)...)
@@ -291,10 +290,14 @@ func AblationSlotCondition(p Params) (*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			for cond, deltas := range map[timeslot.Condition]*[]float64{
-				timeslot.ConditionPaper:  &pd,
-				timeslot.ConditionStrict: &sd,
+			for _, cc := range []struct {
+				cond   timeslot.Condition
+				deltas *[]float64
+			}{
+				{timeslot.ConditionPaper, &pd},
+				{timeslot.ConditionStrict, &sd},
 			} {
+				cond, deltas := cc.cond, cc.deltas
 				net, err := core.Build(d.Graph(), core.Config{SlotCondition: cond})
 				if err != nil {
 					return nil, err

@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"sort"
+
 	"dynsens/internal/broadcast"
 	"dynsens/internal/core"
 	"dynsens/internal/stats"
@@ -57,6 +59,7 @@ func Fig9(p Params) (*stats.Table, error) {
 		for _, v := range icff.Awake {
 			cffAwake = append(cffAwake, v)
 		}
+		sort.Ints(cffAwake) // map order must not leak into the percentile input
 		return map[string]float64{
 			"cff_max":  float64(icff.MaxAwake),
 			"cff_mean": icff.MeanAwake,

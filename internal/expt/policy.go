@@ -40,7 +40,8 @@ func PolicyAblation(p Params) (*stats.Table, error) {
 			"max-degree": cnet.MaxValue(degVal),
 			"min-degree": cnet.MaxValue(negVal),
 		}
-		for name, pol := range policies {
+		for _, name := range order { // fixed order: table rows must not depend on map iteration
+			pol := policies[name]
 			net, err := core.Build(g, core.Config{Policy: pol})
 			if err != nil {
 				return nil, err

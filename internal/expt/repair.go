@@ -2,7 +2,7 @@ package expt
 
 import (
 	"fmt"
-	"math/rand"
+	"sort"
 
 	"dynsens/internal/broadcast"
 	"dynsens/internal/gather"
@@ -30,7 +30,7 @@ func Repair(p Params, fracs []float64) (*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			rng := rand.New(rand.NewSource(seed * 41))
+			rng := p.rng(seed * 41)
 			deadSet := make(map[graph.NodeID]bool)
 			for _, id := range net.CNet().Tree().Nodes() {
 				if id != net.Root() && rng.Float64() < frac {
@@ -40,11 +40,16 @@ func Repair(p Params, fracs []float64) (*stats.Table, error) {
 			if len(deadSet) == 0 {
 				deadSet[net.CNet().Tree().Nodes()[1]] = true
 			}
-			var fails []gather.Failure
+			// Sorted: the repair replays the dead in this order, so map
+			// iteration must not decide it.
 			var dead []graph.NodeID
 			for id := range deadSet {
-				fails = append(fails, gather.Failure{Node: id, Round: 1})
 				dead = append(dead, id)
+			}
+			sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+			fails := make([]gather.Failure, 0, len(dead))
+			for _, id := range dead {
+				fails = append(fails, gather.Failure{Node: id, Round: 1})
 			}
 
 			// Detection epoch.

@@ -2,7 +2,6 @@ package expt
 
 import (
 	"fmt"
-	"math/rand"
 
 	"dynsens/internal/broadcast"
 	"dynsens/internal/graph"
@@ -30,7 +29,7 @@ func Skew(p Params, sigmas []int) (*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			rng := rand.New(rand.NewSource(seed * 23))
+			rng := p.rng(seed * 23)
 			skew := make(map[graph.NodeID]int)
 			for _, id := range net.CNet().Tree().Nodes() {
 				if sigma > 0 {

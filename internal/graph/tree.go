@@ -166,13 +166,13 @@ func (t *Tree) DepthMap() map[NodeID]int {
 		return t.depthCache
 	}
 	depth := make(map[NodeID]int, len(t.children))
-	// Preorder from root.
+	// Preorder from root, children ascending, so traversal is deterministic.
 	stack := []NodeID{t.root}
 	depth[t.root] = 0
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for c := range t.children[u] {
+		for _, c := range t.Children(u) {
 			depth[c] = depth[u] + 1
 			stack = append(stack, c)
 		}
@@ -208,7 +208,7 @@ func (t *Tree) SubtreeHeight(id NodeID) int {
 		if depth[u] > h {
 			h = depth[u]
 		}
-		for c := range t.children[u] {
+		for _, c := range t.Children(u) {
 			depth[c] = depth[u] + 1
 			stack = append(stack, c)
 		}

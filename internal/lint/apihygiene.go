@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// APIHygiene keeps the exported surface of library packages navigable:
+// every exported declaration carries a doc comment, and every fmt.Errorf
+// message starts with a lowercase component tag ("cnet: ...", "tree: ...")
+// so an error bubbling out of a deep experiment run can be attributed to
+// the subsystem that produced it. Pure wrapping formats that start with a
+// verb ("%s"/"%w"-first) are exempt.
+var APIHygiene = &Analyzer{
+	Name: "apihygiene",
+	Doc: "flags exported declarations without doc comments and fmt.Errorf " +
+		"messages without a lowercase component-tag prefix",
+	Run: runAPIHygiene,
+}
+
+func runAPIHygiene(p *Package) []Finding {
+	if !p.IsLibrary() {
+		return nil
+	}
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		out = append(out, Finding{
+			Analyzer: "apihygiene",
+			Pos:      p.Fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			switch decl := d.(type) {
+			case *ast.FuncDecl:
+				if !ast.IsExported(decl.Name.Name) {
+					continue
+				}
+				if decl.Recv != nil && !ast.IsExported(recvTypeName(decl)) {
+					continue
+				}
+				if decl.Doc == nil {
+					report(decl.Pos(), "exported %s %s has no doc comment", funcKind(decl), declName(decl))
+				}
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if ast.IsExported(s.Name.Name) && decl.Doc == nil && s.Doc == nil {
+							report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if ast.IsExported(name.Name) && decl.Doc == nil && s.Doc == nil && s.Comment == nil {
+								report(name.Pos(), "exported %s %s has no doc comment", declTok(decl.Tok), name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+		if p.Info != nil {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if path, name := pkgFunc(p, call); path != "fmt" || name != "Errorf" {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				msg, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				if !taggedMessage(msg) {
+					report(lit.Pos(), "fmt.Errorf message %q lacks a lowercase component tag (want e.g. %q)",
+						msg, p.Name+": "+msg)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// taggedMessage accepts "tag: ..." where tag is lowercase (possibly with
+// %-verbs, as in "policy %s:"), and pure wrapping formats starting with a
+// %-verb.
+func taggedMessage(msg string) bool {
+	if strings.HasPrefix(msg, "%") {
+		return true
+	}
+	tag, _, ok := strings.Cut(msg, ":")
+	if !ok || tag == "" {
+		return false
+	}
+	for _, r := range tag {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r >= '0' && r <= '9':
+		case r == ' ' || r == '-' || r == '_' || r == '%' || r == '.' || r == '/':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// funcKind distinguishes methods from functions in messages.
+func funcKind(fd *ast.FuncDecl) string {
+	if fd.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// declName renders Func or (*Recv).Func.
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil {
+		return "(*" + recvTypeName(fd) + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// declTok names a var/const declaration in messages.
+func declTok(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

@@ -1,0 +1,146 @@
+// Package lint is a self-contained static-analysis pass over this
+// repository's own source, in the spirit of go/analysis but built only on
+// the stdlib go/parser, go/ast and go/types (go.mod stays dependency-free).
+//
+// The paper's guarantees are conditional: Lemma 2/3 collision-freedom and
+// the Definition 1 / Property 1 CNet invariants only hold if the simulator
+// is deterministic (seed-reproducible) and every mutation path
+// re-establishes the invariants. The runtime checks in internal/cnet and
+// internal/timeslot catch violations when they execute; the analyzers here
+// enforce statically that the code cannot drift into the classes of bug
+// that would silently void them: hidden nondeterminism, dropped
+// verification errors, mutating APIs without invariant-checked tests,
+// panics in library code, and unattributable error messages.
+//
+// Findings can be suppressed with a justification:
+//
+//	//lint:ignore dynlint/<analyzer> <reason>
+//
+// placed at the end of the offending line or on the line directly above
+// it. The reason is mandatory; a bare ignore is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+// String formats the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: dynlint/%s: %s",
+		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named pass over a loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and suppressions
+	// (dynlint/<Name>).
+	Name string
+	// Doc is a one-paragraph description for documentation and -help.
+	Doc string
+	// Run inspects one package and returns its findings.
+	Run func(p *Package) []Finding
+}
+
+// All lists every analyzer in the order findings are grouped.
+var All = []*Analyzer{
+	Nondeterminism,
+	UncheckedErr,
+	MutVerify,
+	Panics,
+	APIHygiene,
+}
+
+// ignorePrefix starts a suppression comment.
+const ignorePrefix = "//lint:ignore dynlint/"
+
+// suppression records one //lint:ignore comment.
+type suppression struct {
+	analyzer string
+	line     int
+	reason   string
+}
+
+// suppressions scans a file's comments for //lint:ignore directives.
+// Malformed directives (no reason) are returned as findings so that
+// suppressions can never silently rot into blanket ignores.
+func suppressions(fset *token.FileSet, file *ast.File) ([]suppression, []Finding) {
+	var sups []suppression
+	var bad []Finding
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			name, reason, _ := strings.Cut(rest, " ")
+			pos := fset.Position(c.Pos())
+			if strings.TrimSpace(reason) == "" {
+				bad = append(bad, Finding{
+					Analyzer: "lintdirective",
+					Pos:      pos,
+					Message:  fmt.Sprintf("suppression of dynlint/%s has no justification; write //lint:ignore dynlint/%s <reason>", name, name),
+				})
+				continue
+			}
+			sups = append(sups, suppression{analyzer: name, line: pos.Line, reason: reason})
+		}
+	}
+	return sups, bad
+}
+
+// Run executes the analyzers over the packages, drops suppressed findings,
+// and returns the remainder sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		var sups []suppression
+		for _, f := range append(append([]*ast.File{}, p.Files...), p.TestFiles...) {
+			s, bad := suppressions(p.Fset, f)
+			sups = append(sups, s...)
+			out = append(out, bad...)
+		}
+		suppressed := func(f Finding) bool {
+			for _, s := range sups {
+				if s.analyzer != f.Analyzer {
+					continue
+				}
+				if s.line == f.Pos.Line || s.line == f.Pos.Line-1 {
+					return true
+				}
+			}
+			return false
+		}
+		for _, a := range analyzers {
+			for _, f := range a.Run(p) {
+				if !suppressed(f) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

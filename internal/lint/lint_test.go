@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantMarker precedes the analyzer names expected on a fixture line:
+//
+//	rand.Intn(6) // want dynlint/nondeterminism
+const wantMarker = "// want "
+
+// fixtureWants scans a fixture directory for want markers and returns the
+// expected findings as "file:line" -> sorted analyzer names.
+func fixtureWants(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	out := make(map[string][]string)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, wantMarker)
+			if !ok {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+			for _, tok := range strings.Fields(rest) {
+				if name, ok := strings.CutPrefix(tok, "dynlint/"); ok {
+					out[key] = append(out[key], name)
+				}
+			}
+			sort.Strings(out[key])
+		}
+	}
+	return out
+}
+
+// findingsByLine groups findings the same way fixtureWants does.
+func findingsByLine(fs []Finding) map[string][]string {
+	out := make(map[string][]string)
+	for _, f := range fs {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		out[key] = append(out[key], f.Analyzer)
+	}
+	for k := range out {
+		sort.Strings(out[k])
+	}
+	return out
+}
+
+// TestAnalyzersOnFixtures runs every analyzer over one fixture package per
+// analyzer and requires the findings to match the // want markers exactly —
+// no misses, no extras (the extras check is what keeps the heuristics from
+// drifting into noise).
+func TestAnalyzersOnFixtures(t *testing.T) {
+	for _, name := range []string{"nondet", "uncheckederr", "mutverify", "panicfix", "apihygiene"} {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", name)
+			p, err := LoadDir(dir, "internal/"+name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fixtureWants(t, dir)
+			got := findingsByLine(Run([]*Package{p}, All))
+			for key, analyzers := range want {
+				if strings.Join(got[key], ",") != strings.Join(analyzers, ",") {
+					t.Errorf("%s: want findings %v, got %v", key, analyzers, got[key])
+				}
+			}
+			for key, analyzers := range got {
+				if len(want[key]) == 0 {
+					t.Errorf("%s: unexpected findings %v", key, analyzers)
+				}
+			}
+		})
+	}
+}
+
+// TestBareSuppressionIsReported checks that a //lint:ignore directive
+// without a justification both fails to suppress and is itself reported.
+func TestBareSuppressionIsReported(t *testing.T) {
+	p, err := LoadDir(filepath.Join("testdata", "src", "directive"), "internal/directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Run([]*Package{p}, All)
+	var analyzers []string
+	for _, f := range fs {
+		analyzers = append(analyzers, f.Analyzer)
+	}
+	sort.Strings(analyzers)
+	if strings.Join(analyzers, ",") != "lintdirective,panics" {
+		t.Fatalf("want [lintdirective panics], got %v (findings: %v)", analyzers, fs)
+	}
+	for _, f := range fs {
+		if f.Analyzer == "panics" && fs[0].Pos.Line+1 != f.Pos.Line {
+			t.Errorf("panic finding at line %d, directive at %d; bare directive must not suppress", f.Pos.Line, fs[0].Pos.Line)
+		}
+	}
+}
+
+// TestRepoIsClean loads the whole module and requires zero findings: the
+// linter gates CI, so the repository must stay clean against its own rules.
+func TestRepoIsClean(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; module walk is broken", len(pkgs))
+	}
+	for _, f := range Run(pkgs, All) {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one directory of the module, parsed and type-checked.
+type Package struct {
+	// Name is the package clause name.
+	Name string
+	// ImportPath is the module-qualified import path.
+	ImportPath string
+	// Dir is the absolute directory.
+	Dir string
+	// RelDir is the directory relative to the module root, "." for the
+	// root itself. Analyzers scope themselves with it (e.g. library rules
+	// apply under internal/).
+	RelDir string
+	// Fset positions all files of all packages in one load.
+	Fset *token.FileSet
+	// Files are the non-test files, type-checked.
+	Files []*ast.File
+	// TestFiles are the _test.go files (in-package and external). They are
+	// parsed but not type-checked; analyzers use them syntactically.
+	TestFiles []*ast.File
+	// Types is the checked package, nil when the directory holds only
+	// test files.
+	Types *types.Package
+	// Info carries the type-checker's results for Files.
+	Info *types.Info
+}
+
+// IsLibrary reports whether the package is library code whose determinism
+// and invariants the paper's guarantees depend on (everything under
+// internal/; cmd/ and examples/ are exempt from the library-only rules).
+func (p *Package) IsLibrary() bool {
+	return p.RelDir == "internal" || strings.HasPrefix(p.RelDir, "internal"+string(filepath.Separator)) ||
+		strings.HasPrefix(p.RelDir, "internal/")
+}
+
+// ModuleRoot walks up from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(p); err == nil {
+				p = unq
+			}
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// moduleImporter resolves imports during type-checking: module-local paths
+// come from the packages already checked in dependency order, everything
+// else (the stdlib) from the source importer, so the whole load works with
+// the stdlib alone.
+type moduleImporter struct {
+	module string
+	std    types.Importer
+	local  map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == m.module || strings.HasPrefix(path, m.module+"/") {
+		if p, ok := m.local[path]; ok {
+			return p, nil
+		}
+		return nil, fmt.Errorf("lint: module package %s not yet checked (import cycle?)", path)
+	}
+	return m.std.Import(path)
+}
+
+// Load parses and type-checks every package of the module rooted at root.
+// Directories named testdata and hidden directories are skipped. Packages
+// are returned sorted by RelDir.
+func Load(root string) ([]*Package, error) {
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	sort.Strings(dirs)
+
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		p, err := parseDir(fset, root, module, dir)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+
+	imp := &moduleImporter{
+		module: module,
+		std:    importer.ForCompiler(fset, "source", nil),
+		local:  make(map[string]*types.Package, len(pkgs)),
+	}
+	order, err := topoSort(pkgs, module)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range order {
+		if err := check(p, imp); err != nil {
+			return nil, err
+		}
+		if p.Types != nil {
+			imp.local[p.ImportPath] = p.Types
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].RelDir < pkgs[j].RelDir })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir, presenting it
+// under relAs (so tests can load fixtures as if they lived at a chosen
+// spot in the module, e.g. "internal/fixture"). Fixture files may import
+// the stdlib only.
+func LoadDir(dir, relAs string) (*Package, error) {
+	fset := token.NewFileSet()
+	p, err := parseDir(fset, filepath.Dir(dir), "lintfixture", dir)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	p.RelDir = relAs
+	imp := &moduleImporter{
+		module: "lintfixture",
+		std:    importer.ForCompiler(fset, "source", nil),
+		local:  map[string]*types.Package{},
+	}
+	if err := check(p, imp); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseDir parses one directory into a Package (nil when it has no
+// buildable Go files). Exactly one non-test package clause is expected per
+// directory, plus optionally its _test packages.
+func parseDir(fset *token.FileSet, root, module, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	ipath := module
+	if rel != "." {
+		ipath = module + "/" + filepath.ToSlash(rel)
+	}
+	p := &Package{ImportPath: ipath, Dir: dir, RelDir: filepath.ToSlash(rel), Fset: fset}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			p.TestFiles = append(p.TestFiles, f)
+			continue
+		}
+		p.Files = append(p.Files, f)
+		if p.Name == "" {
+			p.Name = f.Name.Name
+		} else if p.Name != f.Name.Name {
+			return nil, fmt.Errorf("lint: %s: mixed packages %s and %s", dir, p.Name, f.Name.Name)
+		}
+	}
+	if len(p.Files) == 0 && len(p.TestFiles) == 0 {
+		return nil, nil
+	}
+	if p.Name == "" { // test-only directory: name it after its tests
+		p.Name = strings.TrimSuffix(p.TestFiles[0].Name.Name, "_test")
+	}
+	return p, nil
+}
+
+// topoSort orders packages so every module-local import precedes its
+// importer, as the type-checker requires.
+func topoSort(pkgs []*Package, module string) ([]*Package, error) {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	var order []*Package
+	state := make(map[string]int, len(pkgs)) // 0 new, 1 visiting, 2 done
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.ImportPath] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", p.ImportPath)
+		case 2:
+			return nil
+		}
+		state[p.ImportPath] = 1
+		for _, f := range p.Files {
+			for _, im := range f.Imports {
+				path, err := strconv.Unquote(im.Path.Value)
+				if err != nil {
+					continue
+				}
+				if dep, ok := byPath[path]; ok && dep != p {
+					if err := visit(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// check type-checks the package's non-test files. Test-only directories
+// are left with nil Types; analyzers must tolerate that.
+func check(p *Package, imp types.Importer) error {
+	if len(p.Files) == 0 {
+		return nil
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := conf.Check(p.ImportPath, p.Fset, p.Files, p.Info)
+	if len(errs) > 0 {
+		return fmt.Errorf("lint: type errors in %s (run go build first): %v", p.ImportPath, errs[0])
+	}
+	if err != nil {
+		return fmt.Errorf("lint: %s: %w", p.ImportPath, err)
+	}
+	p.Types = tpkg
+	return nil
+}

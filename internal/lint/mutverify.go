@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// MutVerify closes the gap between the repo's runtime invariant checks and
+// its tests: a library package that declares a Verify* method (cnet,
+// timeslot, core, multicast, multinet, gather) promises machine-checkable
+// invariants, so every exported method that mutates that state must be
+// exercised by at least one test file that also calls a Verify* check.
+// Otherwise a mutation path can silently stop re-establishing Definition 1
+// / Property 1 / the Time-Slot Conditions and no test would notice.
+//
+// Mutation is detected syntactically: an assignment, ++/--, delete or
+// append rooted at the receiver, directly or via a same-receiver method
+// call (transitively, within the package).
+var MutVerify = &Analyzer{
+	Name: "mutverify",
+	Doc: "flags exported mutating methods, in packages that define Verify* " +
+		"checks, that no test file covers together with a Verify* call",
+	Run: runMutVerify,
+}
+
+func runMutVerify(p *Package) []Finding {
+	if !p.IsLibrary() {
+		return nil
+	}
+	// The rule only binds packages that promise verifiable invariants.
+	declaresVerifier := false
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv != nil && strings.HasPrefix(fd.Name.Name, "Verify") {
+				declaresVerifier = true
+			}
+		}
+	}
+	if !declaresVerifier {
+		return nil
+	}
+
+	type methodKey struct{ typ, name string }
+	methods := make(map[methodKey]*ast.FuncDecl)
+	mutates := make(map[methodKey]bool)
+	calls := make(map[methodKey][]methodKey) // same-receiver method calls
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			typ := recvTypeName(fd)
+			key := methodKey{typ: typ, name: fd.Name.Name}
+			methods[key] = fd
+			recv := recvIdentName(fd)
+			if recv == "" || recv == "_" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						if exprRoot(lhs) == recv {
+							mutates[key] = true
+						}
+					}
+				case *ast.IncDecStmt:
+					if exprRoot(x.X) == recv {
+						mutates[key] = true
+					}
+				case *ast.CallExpr:
+					if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "delete" && len(x.Args) > 0 {
+						if exprRoot(x.Args[0]) == recv {
+							mutates[key] = true
+						}
+					}
+					if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+						if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+							calls[key] = append(calls[key], methodKey{typ: typ, name: sel.Sel.Name})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Propagate mutation through same-receiver calls to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for key, callees := range calls {
+			if mutates[key] {
+				continue
+			}
+			for _, c := range callees {
+				if mutates[c] {
+					mutates[key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// A test file covers method M when it calls M and some Verify* check.
+	type fileCalls struct {
+		names    map[string]bool
+		verifies bool
+	}
+	var tests []fileCalls
+	for _, f := range p.TestFiles {
+		fc := fileCalls{names: make(map[string]bool)}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := ""
+			switch fn := call.Fun.(type) {
+			case *ast.Ident:
+				name = fn.Name
+			case *ast.SelectorExpr:
+				name = fn.Sel.Name
+			}
+			if name != "" {
+				fc.names[name] = true
+				if strings.HasPrefix(name, "Verify") {
+					fc.verifies = true
+				}
+			}
+			return true
+		})
+		tests = append(tests, fc)
+	}
+	covered := func(name string) bool {
+		for _, fc := range tests {
+			if fc.verifies && fc.names[name] {
+				return true
+			}
+		}
+		return false
+	}
+
+	keys := make([]methodKey, 0, len(methods))
+	for key := range methods {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].typ != keys[j].typ {
+			return keys[i].typ < keys[j].typ
+		}
+		return keys[i].name < keys[j].name
+	})
+	var out []Finding
+	for _, key := range keys {
+		fd := methods[key]
+		if !mutates[key] || !ast.IsExported(key.name) || !ast.IsExported(key.typ) {
+			continue
+		}
+		if covered(key.name) {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "mutverify",
+			Pos:      p.Fset.Position(fd.Pos()),
+			Message: fmt.Sprintf("exported method (*%s).%s mutates receiver state but no test in this package "+
+				"calls it alongside a Verify* invariant check", key.typ, key.name),
+		})
+	}
+	return out
+}
+
+// recvTypeName returns the receiver's base type name.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// recvIdentName returns the receiver variable name, "" when anonymous.
+func recvIdentName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// exprRoot returns the leftmost identifier of a selector/index/star chain,
+// so `a.slot[k][y] = s` roots at "a".
+func exprRoot(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}

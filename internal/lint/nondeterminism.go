@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Nondeterminism enforces seed-reproducibility in library packages. The
+// experiment tables (EXPERIMENTS.md) and every Lemma-level check are only
+// trustworthy if the same seed replays the same run, so library code under
+// internal/ must not consult ambient entropy or wall-clock time, and must
+// not let Go's randomized map iteration order leak into outputs.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc: "forbids global math/rand functions, wall-clock time, and " +
+		"map-iteration order leaking into appended results in internal/ packages",
+	Run: runNondeterminism,
+}
+
+// randConstructors are the math/rand functions that build an explicit
+// generator rather than consulting the package-global one.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// timeBanned are the time functions that read the wall clock or real
+// timers; a round-synchronous simulator has no business calling them.
+var timeBanned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runNondeterminism(p *Package) []Finding {
+	if !p.IsLibrary() || p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	report := func(n ast.Node, format string, args ...interface{}) {
+		out = append(out, Finding{
+			Analyzer: "nondeterminism",
+			Pos:      p.Fset.Position(n.Pos()),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := pkgFunc(p, call)
+			switch {
+			case pkg == "math/rand" && !randConstructors[name]:
+				report(call, "call to package-global math/rand.%s; plumb a seeded *rand.Rand through the caller instead", name)
+			case pkg == "time" && timeBanned[name]:
+				report(call, "wall-clock time.%s in simulation library; rounds, not real time, drive this code", name)
+			}
+			return true
+		})
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, mapOrderLeaks(p, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+// pkgFunc resolves a call of the form pkgname.Func and returns the
+// imported package path and function name, or "","" when the call is
+// anything else (method call, local function, conversion).
+func pkgFunc(p *Package, call *ast.CallExpr) (path, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// mapOrderLeaks flags `for ... range m` over a map whose body appends to a
+// slice that the function never hands to a sorting call: the append order
+// is then Go's randomized map order, and anything built from the slice
+// (reports, failure traces, protocol inputs) differs run to run. The sort
+// may happen anywhere in the same function; helpers whose name contains
+// "sort" (sortIDs, sortedKeys, sort.Slice, ...) all count.
+func mapOrderLeaks(p *Package, fd *ast.FuncDecl) []Finding {
+	type leak struct {
+		stmt    *ast.RangeStmt
+		targets map[string]bool
+	}
+	var leaks []leak
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		// Appends whose destination is selected by the range variables
+		// (out[k] = append(out[k], v)) land each iteration in its own
+		// bucket, so iteration order cannot leak; only shared targets do.
+		rangeVars := map[string]bool{}
+		if n := identName(rs.Key); n != "" && n != "_" {
+			rangeVars[n] = true
+		}
+		if n := identName(rs.Value); n != "" && n != "_" {
+			rangeVars[n] = true
+		}
+		targets := make(map[string]bool)
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+				return true
+			}
+			lhs := as.Lhs[0]
+			if exprKey(lhs) == "" || exprKey(lhs) != exprKey(call.Args[0]) {
+				return true
+			}
+			if rangeVars[exprRoot(lhs)] || indexedBy(lhs, rangeVars) {
+				return true
+			}
+			targets[exprKey(lhs)] = true
+			return true
+		})
+		if len(targets) > 0 {
+			leaks = append(leaks, leak{stmt: rs, targets: targets})
+		}
+		return true
+	})
+	if len(leaks) == 0 {
+		return nil
+	}
+	// A target is safe if the function later feeds it to a sorting call.
+	sorted := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := ""
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			callee = fn.Name
+		case *ast.SelectorExpr:
+			callee = fn.Sel.Name
+			if id, ok := fn.X.(*ast.Ident); ok && id.Name == "sort" {
+				callee = "sort" + callee
+			}
+		}
+		if !strings.Contains(strings.ToLower(callee), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if k := exprKey(arg); k != "" {
+				sorted[k] = true
+			}
+		}
+		return true
+	})
+	var out []Finding
+	for _, l := range leaks {
+		ts := make([]string, 0, len(l.targets))
+		for t := range l.targets {
+			ts = append(ts, t)
+		}
+		sort.Strings(ts)
+		for _, t := range ts {
+			if sorted[t] {
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: "nondeterminism",
+				Pos:      p.Fset.Position(l.stmt.Pos()),
+				Message: fmt.Sprintf("map iteration order leaks into %s, which is never sorted in this function; "+
+					"iterate a sorted key slice or sort the result", t),
+			})
+		}
+	}
+	return out
+}
+
+// identName returns an expression's identifier name, "" otherwise.
+func identName(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// indexedBy reports whether any index position inside e references one of
+// the given identifiers.
+func indexedBy(e ast.Expr, names map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		idx, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		ast.Inspect(idx.Index, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && names[id.Name] {
+				found = true
+			}
+			return true
+		})
+		return true
+	})
+	return found
+}
+
+// exprKey renders a (possibly selector/index) expression to a stable
+// string for matching append targets against sort arguments.
+func exprKey(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprKey(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		base := exprKey(x.X)
+		idx := exprKey(x.Index)
+		if base == "" {
+			return ""
+		}
+		return base + "[" + idx + "]"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Panics forbids panic() in library packages. A simulator library that
+// panics takes down the whole experiment sweep, including the unrelated
+// (size, seed) points running in parallel; invalid inputs must surface as
+// errors the harness can attribute to one point. The narrow exception —
+// asserting a provably-unreachable post-condition violation (a bug, never
+// an input) — must be claimed explicitly with a justified
+// //lint:ignore dynlint/panics suppression so each case is reviewable.
+var Panics = &Analyzer{
+	Name: "panics",
+	Doc:  "flags panic() in internal/ packages; unreachable-bug assertions need a justified suppression",
+	Run:  runPanics,
+}
+
+func runPanics(p *Package) []Finding {
+	if !p.IsLibrary() || p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			out = append(out, Finding{
+				Analyzer: "panics",
+				Pos:      p.Fset.Position(call.Pos()),
+				Message: "panic in library package; return an error, or suppress with a justification " +
+					"if this asserts a provably-unreachable bug state",
+			})
+			return true
+		})
+	}
+	return out
+}

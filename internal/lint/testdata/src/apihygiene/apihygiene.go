@@ -1,0 +1,26 @@
+package apihygiene
+
+import "fmt"
+
+// Documented has a doc comment.
+type Documented struct{}
+
+type Undocumented struct{} // want dynlint/apihygiene
+
+// Do is documented.
+func Do() {}
+
+func Missing() {} // want dynlint/apihygiene
+
+// Errs exercises the error-message convention.
+func Errs(name string) error {
+	if name == "" {
+		return fmt.Errorf("apihygiene: empty name")
+	}
+	if name == "w" {
+		return fmt.Errorf("%w: while wrapping", errBase)
+	}
+	return fmt.Errorf("Untagged message %s", name) // want dynlint/apihygiene
+}
+
+var errBase = fmt.Errorf("apihygiene: base")

@@ -1,0 +1,9 @@
+package directive
+
+func bad(x int) int {
+	if x < 0 {
+		//lint:ignore dynlint/panics
+		panic("negative")
+	}
+	return x
+}

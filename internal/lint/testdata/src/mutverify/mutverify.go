@@ -1,0 +1,29 @@
+package mutverify
+
+// Counter counts keys.
+type Counter struct {
+	n map[string]int
+}
+
+// Verify checks the counts are non-negative.
+func (c *Counter) Verify() error { return nil }
+
+// Add increments a key. Covered by a test that also calls Verify.
+func (c *Counter) Add(k string) { c.n[k]++ }
+
+// Reset clears all counts.
+func (c *Counter) Reset() { // want dynlint/mutverify
+	c.n = make(map[string]int)
+}
+
+// Clear clears all counts via an unexported helper.
+func (c *Counter) Clear() { // want dynlint/mutverify
+	c.reset()
+}
+
+func (c *Counter) reset() {
+	c.n = make(map[string]int)
+}
+
+// Len reads without mutating; never flagged.
+func (c *Counter) Len() int { return len(c.n) }

@@ -1,0 +1,11 @@
+package mutverify
+
+import "testing"
+
+func TestAdd(t *testing.T) {
+	c := &Counter{n: make(map[string]int)}
+	c.Add("x")
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

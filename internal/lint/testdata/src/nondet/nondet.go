@@ -1,0 +1,45 @@
+package nondet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func coins() int {
+	return rand.Intn(6) // want dynlint/nondeterminism
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want dynlint/nondeterminism
+}
+
+func seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}
+
+func leak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want dynlint/nondeterminism
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedLeak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func buckets(m map[string][]int) map[string][]int {
+	out := make(map[string][]int)
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+package panicfix
+
+func boom(x int) int {
+	if x < 0 {
+		panic("negative") // want dynlint/panics
+	}
+	return x
+}
+
+func justifiedAbove(x int) int {
+	if x < 0 {
+		//lint:ignore dynlint/panics unreachable: every caller validates x first
+		panic("negative")
+	}
+	return x
+}
+
+func justifiedInline(x int) int {
+	if x < 0 {
+		panic("negative") //lint:ignore dynlint/panics unreachable: every caller validates x first
+	}
+	return x
+}

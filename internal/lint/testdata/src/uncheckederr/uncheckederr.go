@@ -1,0 +1,31 @@
+package uncheckederr
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+type thing struct{}
+
+func (t *thing) Verify() error { return nil }
+
+func fallible() error { return nil }
+
+func bad() {
+	fallible() // want dynlint/uncheckederr
+	t := &thing{}
+	_ = t.Verify() // want dynlint/uncheckederr
+}
+
+func good() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x")
+	fmt.Fprintln(os.Stderr, "y")
+	fmt.Println("z")
+	_ = fallible() // deliberate discard of a non-verifier: allowed
+	if err := fallible(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UncheckedErr flags dropped error returns. The repo's invariants surface
+// as errors from Verify()/Validate()-style calls; dropping one turns a
+// machine-checked guarantee into a hope. Two shapes are flagged:
+//
+//   - a call used as a bare statement whose (last) result is an error;
+//   - an explicit discard `_ = x.Verify()` of a verification call —
+//     blank-assigning other errors is treated as a deliberate, visible
+//     choice, but silencing a verifier is never acceptable.
+var UncheckedErr = &Analyzer{
+	Name: "uncheckederr",
+	Doc: "flags call statements that drop an error result, and blank " +
+		"assignments that discard Verify*/Validate*/Check* results",
+	Run: runUncheckedErr,
+}
+
+// verifierName reports whether a callee name is an invariant check.
+func verifierName(name string) bool {
+	return strings.HasPrefix(name, "Verify") ||
+		strings.HasPrefix(name, "Validate") ||
+		strings.HasPrefix(name, "Check")
+}
+
+// errIgnoredCallees never meaningfully fail here and may be used as bare
+// statements: terminal output on a dev machine has no error recovery.
+var errIgnoredCallees = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+// infallibleWriter reports types whose Write* methods are documented to
+// always return a nil error (strings.Builder, bytes.Buffer), so dropping
+// their error is noise, not risk.
+func infallibleWriter(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// stdStream reports whether e is os.Stdout or os.Stderr; print errors on
+// the developer's terminal have no recovery path.
+func stdStream(p *Package, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "os" &&
+		(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr")
+}
+
+func runUncheckedErr(p *Package) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	errType := types.Universe.Lookup("error").Type()
+	returnsError := func(call *ast.CallExpr) bool {
+		tv, ok := p.Info.Types[call]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		switch t := tv.Type.(type) {
+		case *types.Tuple:
+			return t.Len() > 0 && types.Identical(t.At(t.Len()-1).Type(), errType)
+		default:
+			return types.Identical(t, errType)
+		}
+	}
+	calleeName := func(call *ast.CallExpr) string {
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			return fn.Name
+		case *ast.SelectorExpr:
+			if path, name := pkgFunc(p, call); path != "" {
+				// Abbreviate stdlib callees as pkg.Func for the ignore list.
+				if i := strings.LastIndex(path, "/"); i >= 0 {
+					path = path[i+1:]
+				}
+				return path + "." + name
+			}
+			return fn.Sel.Name
+		default:
+			return ""
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok || !returnsError(call) {
+					return true
+				}
+				name := calleeName(call)
+				if errIgnoredCallees[name] {
+					return true
+				}
+				// fmt.Fprint* into an infallible or terminal writer.
+				if strings.HasPrefix(name, "fmt.Fprint") && len(call.Args) > 0 {
+					if tv, ok := p.Info.Types[call.Args[0]]; ok && infallibleWriter(tv.Type) {
+						return true
+					}
+					if stdStream(p, call.Args[0]) {
+						return true
+					}
+				}
+				// Methods on strings.Builder / bytes.Buffer.
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if s, ok := p.Info.Selections[sel]; ok && infallibleWriter(s.Recv()) {
+						return true
+					}
+				}
+				out = append(out, Finding{
+					Analyzer: "uncheckederr",
+					Pos:      p.Fset.Position(stmt.Pos()),
+					Message:  fmt.Sprintf("error returned by %s is dropped; handle it or assign it explicitly", name),
+				})
+			case *ast.AssignStmt:
+				if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+					return true
+				}
+				id, ok := stmt.Lhs[0].(*ast.Ident)
+				if !ok || id.Name != "_" {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok || !returnsError(call) {
+					return true
+				}
+				name := calleeName(call)
+				short := name
+				if i := strings.LastIndex(short, "."); i >= 0 {
+					short = short[i+1:]
+				}
+				if verifierName(short) {
+					out = append(out, Finding{
+						Analyzer: "uncheckederr",
+						Pos:      p.Fset.Position(stmt.Pos()),
+						Message:  fmt.Sprintf("invariant check %s is silenced with _ =; its error must be handled", name),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -331,3 +331,56 @@ func TestMulticastProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRebuildRecomputesRelayCounts(t *testing.T) {
+	c, _ := buildNet(t, 5, 60)
+	m := New(c)
+	nodes := c.Tree().Nodes()
+	for i, id := range nodes {
+		if err := m.JoinGroup(id, 1+i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild on a consistent state must be a no-op for every relay list.
+	before := make(map[graph.NodeID][]int, len(nodes))
+	for _, id := range nodes {
+		before[id] = m.RelayList(id)
+	}
+	m.Rebuild()
+	if err := m.Verify(); err != nil {
+		t.Fatalf("after Rebuild: %v", err)
+	}
+	for _, id := range nodes {
+		after := m.RelayList(id)
+		if len(after) != len(before[id]) {
+			t.Fatalf("node %d relay list changed: %v vs %v", id, before[id], after)
+		}
+		for i := range after {
+			if after[i] != before[id][i] {
+				t.Fatalf("node %d relay list changed: %v vs %v", id, before[id], after)
+			}
+		}
+	}
+
+	// Rebuild must prune memberships of nodes no longer in the network.
+	victim := nodes[len(nodes)-1]
+	res := c.Graph().Clone()
+	res.RemoveNode(victim)
+	if !res.Connected() {
+		t.Skipf("victim %d is a cut vertex in this seed", victim)
+	}
+	if _, _, err := c.MoveOut(victim); err != nil {
+		t.Fatal(err)
+	}
+	m.Rebuild()
+	if m.InGroup(victim, 1) || m.InGroup(victim, 2) || m.InGroup(victim, 3) {
+		t.Fatalf("departed node %d kept a membership", victim)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("after prune: %v", err)
+	}
+}

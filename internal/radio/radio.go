@@ -21,6 +21,7 @@ package radio
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"dynsens/internal/graph"
 )
@@ -242,11 +243,20 @@ func (e *Engine) localRound(id graph.NodeID, round int) int { return round + e.s
 // are neither delivered nor do they jam: the listener simply never hears
 // them. Determinstic per seed.
 func (e *Engine) SetLoss(rate float64, seed int64) error {
+	return e.SetLossRand(rate, rand.New(rand.NewSource(seed)))
+}
+
+// SetLossRand is SetLoss with an injected source, for callers that thread
+// one seeded stream through several randomized components.
+func (e *Engine) SetLossRand(rate float64, rng *rand.Rand) error {
 	if rate < 0 || rate >= 1 {
 		return fmt.Errorf("radio: loss rate %v out of [0,1)", rate)
 	}
+	if rng == nil {
+		return fmt.Errorf("radio: nil rand source")
+	}
 	e.lossRate = rate
-	e.lossRng = rand.New(rand.NewSource(seed))
+	e.lossRng = rng
 	return nil
 }
 
@@ -286,15 +296,32 @@ func (e *Engine) Run(maxRounds int) Result {
 		from graph.NodeID
 		msg  Message
 	}
+	// Failure events are emitted exactly once, at the failing round, in
+	// sorted order: trace output must be byte-identical across runs, and
+	// map iteration would shuffle simultaneous failures.
+	nodeFails := make([]graph.NodeID, 0, len(e.nodeFail))
+	for id := range e.nodeFail {
+		nodeFails = append(nodeFails, id)
+	}
+	sort.Slice(nodeFails, func(i, j int) bool { return nodeFails[i] < nodeFails[j] })
+	linkFails := make([]linkKey, 0, len(e.linkFail))
+	for lk := range e.linkFail {
+		linkFails = append(linkFails, lk)
+	}
+	sort.Slice(linkFails, func(i, j int) bool {
+		if linkFails[i].a != linkFails[j].a {
+			return linkFails[i].a < linkFails[j].a
+		}
+		return linkFails[i].b < linkFails[j].b
+	})
 	for round := 1; round <= maxRounds; round++ {
-		// Emit failure events exactly once, at the failing round.
-		for id, r := range e.nodeFail {
-			if r == round {
+		for _, id := range nodeFails {
+			if e.nodeFail[id] == round {
 				e.emit(Event{Round: round, Kind: EvNodeFail, Node: id})
 			}
 		}
-		for lk, r := range e.linkFail {
-			if r == round {
+		for _, lk := range linkFails {
+			if e.linkFail[lk] == round {
 				e.emit(Event{Round: round, Kind: EvLinkFail, Node: lk.a, Peer: lk.b})
 			}
 		}
@@ -337,6 +364,7 @@ func (e *Engine) Run(maxRounds int) Result {
 				transmitters[a.Channel] = append(transmitters[a.Channel], tx{from: id, msg: m})
 				e.emit(Event{Round: round, Kind: EvTransmit, Node: id, Channel: a.Channel, Msg: m})
 			default:
+				//lint:ignore dynlint/panics a Program returning an undefined ActionKind is a protocol bug, not an input; failing loud beats mis-accounting energy
 				panic(fmt.Sprintf("radio: node %d returned invalid action kind %d", id, a.Kind))
 			}
 		}

@@ -401,7 +401,8 @@ func (a *Assignment) AssignAll() {
 		}
 	}
 	if err := a.repair(); err != nil {
-		panic(err) // post-condition violation: a bug, not an input error
+		//lint:ignore dynlint/panics Procedure 1's post-condition (Lemma 2) makes repair converge on any valid CNet; failure is a bug, not an input error
+		panic(err)
 	}
 }
 

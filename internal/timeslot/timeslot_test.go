@@ -391,3 +391,61 @@ func TestAssignmentProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAssignAllRecomputesFromScratch(t *testing.T) {
+	c := buildNet(t, 17, 90)
+	a := New(c, ConditionStrict)
+
+	// Churn the structure so the incremental state has history, then
+	// recompute everything from scratch: Lemma 2's conditions must hold
+	// again, and a second AssignAll must reproduce identical slots
+	// (the recomputation is deterministic).
+	nodes := c.Tree().Nodes()
+	for _, id := range nodes[len(nodes)-5:] {
+		if id == c.Root() {
+			continue
+		}
+		res := c.Graph().Clone()
+		res.RemoveNode(id)
+		if !res.Connected() {
+			continue
+		}
+		rec, _, err := c.MoveOut(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.OnMoveOut(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.AssignAll()
+	if err := a.Verify(); err != nil {
+		t.Fatalf("after AssignAll: %v", err)
+	}
+	if err := a.CheckBounds(); err != nil {
+		t.Fatalf("after AssignAll: %v", err)
+	}
+	snap := make(map[graph.NodeID][3]int)
+	for _, id := range c.Tree().Nodes() {
+		var s [3]int
+		for i, k := range []Kind{B, L, U} {
+			s[i] = -1
+			if v, ok := a.Slot(k, id); ok {
+				s[i] = v
+			}
+		}
+		snap[id] = s
+	}
+	a.AssignAll()
+	for _, id := range c.Tree().Nodes() {
+		for i, k := range []Kind{B, L, U} {
+			v, ok := a.Slot(k, id)
+			if !ok {
+				v = -1
+			}
+			if v != snap[id][i] {
+				t.Fatalf("node %d %v slot changed across AssignAll: %d vs %d", id, k, snap[id][i], v)
+			}
+		}
+	}
+}

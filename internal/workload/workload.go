@@ -22,6 +22,20 @@ type Config struct {
 	Region geom.Region
 	Range  float64 // communication range, meters
 	N      int     // number of nodes
+	// Rand, when non-nil, supplies all randomness instead of Seed. The
+	// Seed-based generators derive per-stage streams (placement, churn,
+	// mobility) from Seed; with an injected source the caller owns the
+	// stream and its sharing.
+	Rand *rand.Rand
+}
+
+// rng returns the injected source, or a fresh one derived from Seed with a
+// per-stage offset so the Seed-based streams stay distinct.
+func (c Config) rng(offset int64) *rand.Rand {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	return rand.New(rand.NewSource(c.Seed + offset))
 }
 
 // PaperConfig returns the paper's setup: a side x side units region with
@@ -48,7 +62,7 @@ func IncrementalConnected(cfg Config) (*geom.Deployment, error) {
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("workload: N must be positive, got %d", cfg.N)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.rng(0)
 	d := &geom.Deployment{Region: cfg.Region, Range: cfg.Range}
 	d.Pos = append(d.Pos, randomPoint(rng, cfg.Region))
 	for len(d.Pos) < cfg.N {
@@ -73,7 +87,7 @@ func IncrementalConnected(cfg Config) (*geom.Deployment, error) {
 // resulting graph may be disconnected at low density; use LargestComponent
 // or IncrementalConnected when connectivity is required.
 func Uniform(cfg Config) *geom.Deployment {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.rng(0)
 	d := &geom.Deployment{Region: cfg.Region, Range: cfg.Range}
 	for i := 0; i < cfg.N; i++ {
 		d.Pos = append(d.Pos, randomPoint(rng, cfg.Region))
@@ -150,7 +164,7 @@ func ChurnTrace(cfg Config, steps int, leaveFrac float64) (*geom.Deployment, []E
 	if err != nil {
 		return nil, nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	rng := cfg.rng(1)
 	// live tracks current node positions by ID.
 	live := make(map[graph.NodeID]geom.Point, cfg.N)
 	for i, p := range base.Pos {
@@ -195,7 +209,7 @@ func MobilityTrace(cfg Config, moves int, wander float64) (*geom.Deployment, []E
 	if err != nil {
 		return nil, nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	rng := cfg.rng(2)
 	live := make(map[graph.NodeID]geom.Point, cfg.N)
 	for i, p := range base.Pos {
 		live[graph.NodeID(i)] = p
@@ -317,7 +331,11 @@ type Failure struct {
 // protected node, typically the broadcast source) and assigns each a
 // failure round uniform in [1, maxRound].
 func FailureTrace(g *graph.Graph, protected graph.NodeID, frac float64, maxRound int, seed int64) []Failure {
-	rng := rand.New(rand.NewSource(seed))
+	return FailureTraceRand(g, protected, frac, maxRound, rand.New(rand.NewSource(seed)))
+}
+
+// FailureTraceRand is FailureTrace with an injected source.
+func FailureTraceRand(g *graph.Graph, protected graph.NodeID, frac float64, maxRound int, rng *rand.Rand) []Failure {
 	var out []Failure
 	for _, id := range g.Nodes() {
 		if id == protected {
@@ -335,7 +353,11 @@ func FailureTrace(g *graph.Graph, protected graph.NodeID, frac float64, maxRound
 // paper's example with groups (1) and (2). The map only contains nodes
 // with at least one group.
 func Groups(g *graph.Graph, k int, memberProb float64, seed int64) map[graph.NodeID][]int {
-	rng := rand.New(rand.NewSource(seed))
+	return GroupsRand(g, k, memberProb, rand.New(rand.NewSource(seed)))
+}
+
+// GroupsRand is Groups with an injected source.
+func GroupsRand(g *graph.Graph, k int, memberProb float64, rng *rand.Rand) map[graph.NodeID][]int {
 	out := make(map[graph.NodeID][]int)
 	for _, id := range g.Nodes() {
 		var gs []int

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -269,5 +270,54 @@ func TestIncrementalConnectedProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestInjectedRandMatchesSeed(t *testing.T) {
+	// An injected source seeded like the config must reproduce the
+	// Seed-driven deployment exactly: injection changes ownership of the
+	// stream, not the stream itself.
+	cfg := PaperConfig(42, 8, 60)
+	want, err := IncrementalConnected(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := cfg
+	inj.Rand = rand.New(rand.NewSource(42))
+	got, err := IncrementalConnected(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pos) != len(want.Pos) {
+		t.Fatalf("sizes differ: %d vs %d", len(got.Pos), len(want.Pos))
+	}
+	for i := range want.Pos {
+		if got.Pos[i] != want.Pos[i] {
+			t.Fatalf("node %d placed at %v, want %v", i, got.Pos[i], want.Pos[i])
+		}
+	}
+
+	g := want.Graph()
+	rngA := rand.New(rand.NewSource(7))
+	fa := FailureTrace(g, 0, 0.2, 10, 7)
+	fb := FailureTraceRand(g, 0, 0.2, 10, rngA)
+	if len(fa) != len(fb) {
+		t.Fatalf("failure traces differ: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("failure %d: %+v vs %+v", i, fa[i], fb[i])
+		}
+	}
+
+	ga := Groups(g, 3, 0.3, 9)
+	gb := GroupsRand(g, 3, 0.3, rand.New(rand.NewSource(9)))
+	if len(ga) != len(gb) {
+		t.Fatalf("group maps differ: %d vs %d", len(ga), len(gb))
+	}
+	for id, gs := range ga {
+		if len(gb[id]) != len(gs) {
+			t.Fatalf("node %d groups %v vs %v", id, gs, gb[id])
+		}
 	}
 }

@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI gate: formatting, vet, build, race-enabled tests, and the dynlint
+# static analyzer (docs/static-analysis.md). Run from anywhere inside the
+# repository; any failure fails the build.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l . | grep -v '^\.' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== dynlint"
+go run ./cmd/dynlint ./...
+
+echo "CI OK"
