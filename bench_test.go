@@ -12,6 +12,7 @@ package dynsens_test
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"dynsens/internal/broadcast"
@@ -20,6 +21,7 @@ import (
 	"dynsens/internal/energy"
 	"dynsens/internal/expt"
 	"dynsens/internal/gather"
+	"dynsens/internal/geom"
 	"dynsens/internal/graph"
 	"dynsens/internal/timeslot"
 	"dynsens/internal/workload"
@@ -509,6 +511,154 @@ func BenchmarkHarnessQuick(b *testing.B) {
 			if _, err := e.Run(p); err != nil {
 				b.Fatalf("%s: %v", e.ID, err)
 			}
+		}
+	}
+}
+
+// --- PR2 scaling benchmarks: grid index vs all-pairs baselines --------------
+
+// scaledConfig grows the region with n so the paper's density (500 nodes on
+// a 10x10-unit square) is held constant past paper sizes.
+func scaledConfig(seed int64, n int) workload.Config {
+	side := int(math.Sqrt(float64(n)/5) + 0.5)
+	if side < 4 {
+		side = 4
+	}
+	return workload.PaperConfig(seed, side, n)
+}
+
+// scaleSizes are the node counts for the construction and churn scaling
+// benchmarks: paper scale, 4x, and 20x.
+var scaleSizes = []int{500, 2000, 10000}
+
+// BenchmarkUDGBuild times unit-disk-graph construction from a fixed point
+// set: the spatial-grid path (including building the grid itself each
+// iteration) against the all-pairs baseline.
+func BenchmarkUDGBuild(b *testing.B) {
+	for _, n := range scaleSizes {
+		cfg := scaledConfig(1, n)
+		d, err := workload.IncrementalConnected(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d/grid", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Fresh Deployment per iteration so the timing includes
+				// building the grid index, not just querying a warm one.
+				dd := &geom.Deployment{Region: d.Region, Range: d.Range, Pos: d.Pos}
+				if g := dd.Graph(); g.NumNodes() != n {
+					b.Fatal("bad graph")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/allpairs", n), func(b *testing.B) {
+			if testing.Short() && n > 500 {
+				b.Skip("all-pairs baseline at scale: skipped in -short mode")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if g := d.GraphAllPairs(); g.NumNodes() != n {
+					b.Fatal("bad graph")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChurnReplay times generating a 200-event churn trace: the
+// incremental UDGState path against the from-scratch all-pairs baseline.
+// Both include the initial placement, which the grid also accelerates.
+func BenchmarkChurnReplay(b *testing.B) {
+	const steps = 200
+	for _, n := range scaleSizes[:2] {
+		cfg := scaledConfig(1, n)
+		b.Run(fmt.Sprintf("n=%d/grid", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ev, err := workload.ChurnTrace(cfg, steps, 0.4); err != nil || len(ev) != steps {
+					b.Fatalf("churn trace: %v", err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/allpairs", n), func(b *testing.B) {
+			if testing.Short() && n > 500 {
+				b.Skip("all-pairs baseline at scale: skipped in -short mode")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ev, err := workload.ChurnTraceAllPairs(cfg, steps, 0.4); err != nil || len(ev) != steps {
+					b.Fatalf("churn trace: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMobilityReplay times generating a 100-move mobility trace,
+// incremental vs all-pairs.
+func BenchmarkMobilityReplay(b *testing.B) {
+	const moves = 100
+	for _, n := range scaleSizes[:2] {
+		cfg := scaledConfig(1, n)
+		b.Run(fmt.Sprintf("n=%d/grid", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ev, err := workload.MobilityTrace(cfg, moves, 2); err != nil || len(ev) != 2*moves {
+					b.Fatalf("mobility trace: %v", err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/allpairs", n), func(b *testing.B) {
+			if testing.Short() && n > 500 {
+				b.Skip("all-pairs baseline at scale: skipped in -short mode")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ev, err := workload.MobilityTraceAllPairs(cfg, moves, 2); err != nil || len(ev) != 2*moves {
+					b.Fatalf("mobility trace: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNeighborsCached measures adjacency reads on an unmutated graph —
+// the traversal hot path. With the sorted-adjacency cache this must be
+// allocation-free (asserted by TestNeighborsAndNodesAllocationFree; the
+// -benchmem column here shows the same at paper scale).
+func BenchmarkNeighborsCached(b *testing.B) {
+	net := mustNetwork(b, 1, 10, 500)
+	g := net.Graph()
+	nodes := g.Nodes()
+	for _, id := range nodes {
+		_ = g.Neighbors(id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		for _, id := range nodes {
+			total += len(g.Neighbors(id))
+		}
+	}
+	if total == 0 {
+		b.Fatal("no adjacency read")
+	}
+}
+
+// BenchmarkSteadyStateBroadcast measures repeated CFF broadcasts on a fixed
+// 500-node network — the steady-state hot path whose per-receiver
+// interference-set and slot-uniqueness work now runs on reused buffers
+// (track the -benchmem column).
+func BenchmarkSteadyStateBroadcast(b *testing.B) {
+	net := mustNetwork(b, 1, 10, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := net.Broadcast(net.Root(), broadcast.Options{})
+		if err != nil || !m.Completed {
+			b.Fatalf("broadcast failed: %v %s", err, m)
 		}
 	}
 }

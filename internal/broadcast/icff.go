@@ -56,23 +56,32 @@ func icffPlan(a *timeslot.Assignment, source graph.NodeID, sl slotting,
 	// listenChannel picks the channel of the unique-slot transmitter within
 	// the relaying part of v's interference set (smallest such slot), falling
 	// back to v's parent's slot channel when pruning destroyed uniqueness.
+	// The interference set lands in a buffer reused across receivers and
+	// uniqueness is a quadratic scan over the degree-bounded set, so plan
+	// construction allocates nothing per receiver.
+	var setBuf []graph.NodeID
 	listenChannel := func(kind timeslot.Kind, v graph.NodeID) radio.Channel {
-		count := make(map[int]int)
-		set := a.InterferenceSet(kind, v)
-		for _, u := range set {
-			if !relay(u) {
-				continue
-			}
-			if s, ok := a.Slot(kind, u); ok {
-				count[s]++
-			}
-		}
+		setBuf = a.AppendInterferenceSet(setBuf[:0], kind, v)
 		best := -1
-		for _, u := range set {
+		for i, u := range setBuf {
 			if !relay(u) {
 				continue
 			}
-			if s, ok := a.Slot(kind, u); ok && count[s] == 1 && (best == -1 || s < best) {
+			s, ok := a.Slot(kind, u)
+			if !ok {
+				continue
+			}
+			unique := true
+			for j, w := range setBuf {
+				if j == i || !relay(w) {
+					continue
+				}
+				if s2, ok := a.Slot(kind, w); ok && s2 == s {
+					unique = false
+					break
+				}
+			}
+			if unique && (best == -1 || s < best) {
 				best = s
 			}
 		}

@@ -49,7 +49,9 @@ func (c *CNet) MoveOut(lev graph.NodeID) (MoveOutRecord, OpCost, error) {
 		return MoveOutRecord{}, OpCost{}, fmt.Errorf("cnet: removing %d disconnects the network", lev)
 	}
 
-	rec := MoveOutRecord{Removed: lev, Neighbors: c.g.Neighbors(lev)}
+	// Copy the adjacency out of the graph's shared neighbor cache: the
+	// record outlives the removal below.
+	rec := MoveOutRecord{Removed: lev, Neighbors: append([]graph.NodeID(nil), c.g.Neighbors(lev)...)}
 	var cost OpCost
 
 	if lev == c.tree.Root() {

@@ -55,18 +55,72 @@ func (r Region) Contains(p Point) bool {
 func (r Region) Area() float64 { return r.Width * r.Height }
 
 // Deployment is a set of positioned nodes. Node i has ID graph.NodeID(i).
+//
+// Range queries (Graph, NeighborsOf, HasNeighbor) are served by a lazily
+// built spatial Grid that is kept in sync as long as Pos only grows by
+// appends — the only mutation the workload generators perform. Code that
+// edits or truncates existing entries of Pos in place must call
+// InvalidateIndex afterwards.
 type Deployment struct {
 	Region Region
 	Range  float64 // communication range in meters
 	Pos    []Point // Pos[i] is the position of node i
+
+	// grid indexes Pos[:indexed]; nil until the first range query.
+	grid    *Grid
+	indexed int
 }
 
 // NumNodes returns the number of deployed nodes.
 func (d *Deployment) NumNodes() int { return len(d.Pos) }
 
+// InvalidateIndex discards the cached spatial index. Required only after
+// in-place edits or truncation of Pos; appends are tracked automatically.
+func (d *Deployment) InvalidateIndex() {
+	d.grid = nil
+	d.indexed = 0
+}
+
+// index returns the spatial index over Pos, building or extending it as
+// needed. Appended points are inserted incrementally; any other drift
+// (range change, truncation) forces a rebuild.
+func (d *Deployment) index() *Grid {
+	if d.grid == nil || d.grid.Range() != d.Range || d.grid.Region() != d.Region || d.indexed > len(d.Pos) {
+		d.grid = NewGrid(d.Region, d.Range)
+		d.indexed = 0
+	}
+	for ; d.indexed < len(d.Pos); d.indexed++ {
+		d.grid.Insert(d.indexed, d.Pos[d.indexed])
+	}
+	return d.grid
+}
+
 // Graph builds the unit-disk graph of the deployment: nodes u, v share an
-// edge iff their distance is at most d.Range.
+// edge iff their distance is at most d.Range. The grid index makes this
+// O(n * neighbors) instead of all-pairs; the result is identical to
+// GraphAllPairs (see TestGraphMatchesAllPairs / FuzzGridEquivalence).
 func (d *Deployment) Graph() *graph.Graph {
+	g := graph.New()
+	for i := range d.Pos {
+		g.AddNode(graph.NodeID(i))
+	}
+	idx := d.index()
+	var buf []int
+	for i := range d.Pos {
+		buf = idx.AppendNeighbors(buf[:0], d.Pos[i], i)
+		for _, j := range buf {
+			if j > i {
+				_ = g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+// GraphAllPairs is the brute-force O(n^2) reference construction of the
+// unit-disk graph, retained for equivalence tests and as the benchmark
+// baseline the grid path is measured against.
+func (d *Deployment) GraphAllPairs() *graph.Graph {
 	g := graph.New()
 	for i := range d.Pos {
 		g.AddNode(graph.NodeID(i))
@@ -82,8 +136,15 @@ func (d *Deployment) Graph() *graph.Graph {
 }
 
 // NeighborsOf returns the indices of nodes within range of position p,
-// excluding index self (pass -1 to exclude nothing).
+// excluding index self (pass -1 to exclude nothing), in ascending order.
+// Served by the grid index in O(neighbors).
 func (d *Deployment) NeighborsOf(p Point, self int) []int {
+	return d.index().Neighbors(p, self)
+}
+
+// NeighborsOfAllPairs is the brute-force reference for NeighborsOf,
+// retained for equivalence tests and benchmarks.
+func (d *Deployment) NeighborsOfAllPairs(p Point, self int) []int {
 	var out []int
 	for i, q := range d.Pos {
 		if i == self {
@@ -94,6 +155,13 @@ func (d *Deployment) NeighborsOf(p Point, self int) []int {
 		}
 	}
 	return out
+}
+
+// HasNeighbor reports whether any deployed node other than self lies
+// within range of p — the allocation-free placement-acceptance check used
+// by workload.IncrementalConnected.
+func (d *Deployment) HasNeighbor(p Point, self int) bool {
+	return d.index().HasNeighbor(p, self)
 }
 
 // Validate checks that all nodes lie inside the region and that the range

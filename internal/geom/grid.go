@@ -1,0 +1,198 @@
+package geom
+
+import "sort"
+
+// Grid is a uniform spatial hash over positioned integer keys. The cell
+// size equals the communication range (grown when the region would need
+// more than maxGridAxis cells along an axis), so every point within range
+// of a query position lies in the query's cell or one of the eight
+// surrounding cells; a range query therefore inspects O(neighbors)
+// candidates instead of the whole population. Keys are application-chosen
+// (deployment indices or graph node IDs) and must be unique among inserted
+// entries.
+//
+// The zero value is not usable; call NewGrid.
+type Grid struct {
+	region Region
+	rng    float64
+	cols   int
+	rows   int
+	// cellW/cellH are the cell dimensions: the range, unless the axis was
+	// capped at maxGridAxis cells, in which case the cells grow to cover
+	// the region. Both are always >= rng, which is what the 3x3 stencil
+	// relies on.
+	cellW float64
+	cellH float64
+	cells [][]gridEntry
+	count int
+}
+
+type gridEntry struct {
+	id int
+	p  Point
+}
+
+// maxGridAxis caps the cell count per axis so a sparse configuration (tiny
+// range over a huge region) cannot allocate an enormous cell array; capped
+// axes use proportionally larger cells instead.
+const maxGridAxis = 1 << 11
+
+// NewGrid returns an empty index over region with cell size rng (the
+// communication range). Points outside the region are clamped into the
+// border cells, so out-of-region insertions degrade gracefully rather
+// than failing. A non-positive range yields a single-cell grid.
+func NewGrid(region Region, rng float64) *Grid {
+	g := &Grid{region: region, rng: rng, cols: 1, rows: 1, cellW: rng, cellH: rng}
+	if rng > 0 {
+		g.cols, g.cellW = gridAxis(region.Width, rng)
+		g.rows, g.cellH = gridAxis(region.Height, rng)
+	}
+	g.cells = make([][]gridEntry, g.cols*g.rows)
+	return g
+}
+
+// gridAxis sizes one axis: cells of the communication range, capped at
+// maxGridAxis cells (with the cell size grown to keep covering the span).
+func gridAxis(span, rng float64) (n int, cell float64) {
+	n = int(span/rng) + 1
+	if n < 1 {
+		n = 1
+	}
+	if n > maxGridAxis {
+		n = maxGridAxis
+		cell = span / float64(n)
+		return n, cell
+	}
+	return n, rng
+}
+
+// Range returns the communication range the grid was built for.
+func (g *Grid) Range() float64 { return g.rng }
+
+// Region returns the region the grid was built for.
+func (g *Grid) Region() Region { return g.region }
+
+// Len returns the number of indexed entries.
+func (g *Grid) Len() int { return g.count }
+
+// cellCoord maps a coordinate to a clamped cell index along one axis.
+func (g *Grid) cellCoord(x, cell float64, n int) int {
+	if cell <= 0 || x <= 0 {
+		return 0
+	}
+	c := int(x / cell)
+	if c >= n {
+		c = n - 1
+	}
+	return c
+}
+
+func (g *Grid) cellIndex(p Point) int {
+	return g.cellCoord(p.Y, g.cellH, g.rows)*g.cols + g.cellCoord(p.X, g.cellW, g.cols)
+}
+
+// Insert adds an entry. Inserting a key twice (even at different
+// positions) corrupts the index; callers must Remove first.
+func (g *Grid) Insert(id int, p Point) {
+	ci := g.cellIndex(p)
+	g.cells[ci] = append(g.cells[ci], gridEntry{id: id, p: p})
+	g.count++
+}
+
+// Remove deletes the entry for id, which must have been inserted at p
+// (the position determines the cell to search). It reports whether the
+// entry was found.
+func (g *Grid) Remove(id int, p Point) bool {
+	ci := g.cellIndex(p)
+	bucket := g.cells[ci]
+	for i, e := range bucket {
+		if e.id == id {
+			bucket[i] = bucket[len(bucket)-1]
+			g.cells[ci] = bucket[:len(bucket)-1]
+			g.count--
+			return true
+		}
+	}
+	return false
+}
+
+// Move relocates an existing entry from old to new in one call.
+func (g *Grid) Move(id int, old, new Point) bool {
+	if !g.Remove(id, old) {
+		return false
+	}
+	g.Insert(id, new)
+	return true
+}
+
+// AppendNeighbors appends to dst the keys of all entries within the grid's
+// range of p, excluding key exclude (pass a key never inserted, e.g. -1
+// for non-negative key spaces, to exclude nothing), and returns the
+// extended slice. The appended keys are sorted ascending, so results are
+// deterministic and identical to a brute-force scan in insertion-index
+// order.
+func (g *Grid) AppendNeighbors(dst []int, p Point, exclude int) []int {
+	start := len(dst)
+	dst = g.appendUnsorted(dst, p, exclude)
+	tail := dst[start:]
+	sort.Ints(tail)
+	return dst
+}
+
+// Neighbors returns the keys within range of p, ascending, excluding
+// exclude. The result is a fresh slice (nil when empty).
+func (g *Grid) Neighbors(p Point, exclude int) []int {
+	return g.AppendNeighbors(nil, p, exclude)
+}
+
+func (g *Grid) appendUnsorted(dst []int, p Point, exclude int) []int {
+	cx := g.cellCoord(p.X, g.cellW, g.cols)
+	cy := g.cellCoord(p.Y, g.cellH, g.rows)
+	for dy := -1; dy <= 1; dy++ {
+		y := cy + dy
+		if y < 0 || y >= g.rows {
+			continue
+		}
+		for dx := -1; dx <= 1; dx++ {
+			x := cx + dx
+			if x < 0 || x >= g.cols {
+				continue
+			}
+			for _, e := range g.cells[y*g.cols+x] {
+				if e.id == exclude {
+					continue
+				}
+				if p.InRange(e.p, g.rng) {
+					dst = append(dst, e.id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// HasNeighbor reports whether any indexed entry other than exclude lies
+// within range of p. It is the allocation-free acceptance check used by
+// incremental placement: O(1) expected at bounded density.
+func (g *Grid) HasNeighbor(p Point, exclude int) bool {
+	cx := g.cellCoord(p.X, g.cellW, g.cols)
+	cy := g.cellCoord(p.Y, g.cellH, g.rows)
+	for dy := -1; dy <= 1; dy++ {
+		y := cy + dy
+		if y < 0 || y >= g.rows {
+			continue
+		}
+		for dx := -1; dx <= 1; dx++ {
+			x := cx + dx
+			if x < 0 || x >= g.cols {
+				continue
+			}
+			for _, e := range g.cells[y*g.cols+x] {
+				if e.id != exclude && p.InRange(e.p, g.rng) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,248 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteNeighbors is the reference for Grid queries: scan every entry.
+func bruteNeighbors(entries map[int]Point, p Point, rng float64, exclude int) []int {
+	var out []int
+	for id, q := range entries {
+		if id == exclude {
+			continue
+		}
+		if p.InRange(q, rng) {
+			out = append(out, id)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGridInsertRemoveMove(t *testing.T) {
+	g := NewGrid(Region{Width: 200, Height: 200}, 50)
+	g.Insert(1, Point{X: 10, Y: 10})
+	g.Insert(2, Point{X: 40, Y: 10})
+	g.Insert(3, Point{X: 190, Y: 190})
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if got := g.Neighbors(Point{X: 10, Y: 10}, 1); !sameInts(got, []int{2}) {
+		t.Fatalf("Neighbors = %v, want [2]", got)
+	}
+	if !g.Remove(2, Point{X: 40, Y: 10}) {
+		t.Fatal("Remove failed")
+	}
+	if g.Remove(2, Point{X: 40, Y: 10}) {
+		t.Fatal("double Remove succeeded")
+	}
+	if got := g.Neighbors(Point{X: 10, Y: 10}, 1); len(got) != 0 {
+		t.Fatalf("Neighbors after remove = %v", got)
+	}
+	if !g.Move(3, Point{X: 190, Y: 190}, Point{X: 20, Y: 20}) {
+		t.Fatal("Move failed")
+	}
+	if got := g.Neighbors(Point{X: 10, Y: 10}, 1); !sameInts(got, []int{3}) {
+		t.Fatalf("Neighbors after move = %v, want [3]", got)
+	}
+	if g.Move(99, Point{}, Point{X: 1, Y: 1}) {
+		t.Fatal("Move of absent key succeeded")
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestGridHasNeighbor(t *testing.T) {
+	g := NewGrid(Region{Width: 300, Height: 300}, 50)
+	if g.HasNeighbor(Point{X: 150, Y: 150}, -1) {
+		t.Fatal("empty grid reports a neighbor")
+	}
+	g.Insert(7, Point{X: 100, Y: 100})
+	if !g.HasNeighbor(Point{X: 130, Y: 100}, -1) {
+		t.Fatal("in-range entry not found")
+	}
+	if g.HasNeighbor(Point{X: 130, Y: 100}, 7) {
+		t.Fatal("excluded entry reported")
+	}
+	if g.HasNeighbor(Point{X: 151, Y: 100}, -1) {
+		t.Fatal("out-of-range entry reported")
+	}
+	// Boundary is inclusive, like Point.InRange.
+	if !g.HasNeighbor(Point{X: 150, Y: 100}, -1) {
+		t.Fatal("boundary distance not in range")
+	}
+}
+
+// Property: Grid range queries agree exactly with a brute-force scan, for
+// points inside the region and up to one range outside it (the clamped
+// border cells), across random populations, mutations, and query points.
+func TestGridMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		region := Region{Width: 100 + rng.Float64()*700, Height: 100 + rng.Float64()*700}
+		r := 20 + rng.Float64()*80
+		g := NewGrid(region, r)
+		entries := make(map[int]Point)
+		n := int(nRaw)%60 + 1
+		for id := 0; id < n; id++ {
+			p := Point{X: rng.Float64() * region.Width, Y: rng.Float64() * region.Height}
+			g.Insert(id, p)
+			entries[id] = p
+		}
+		// Random removals.
+		for id := 0; id < n; id += 3 {
+			if !g.Remove(id, entries[id]) {
+				return false
+			}
+			delete(entries, id)
+		}
+		for q := 0; q < 30; q++ {
+			// Sample inside and slightly outside the region.
+			p := Point{
+				X: -r + rng.Float64()*(region.Width+2*r),
+				Y: -r + rng.Float64()*(region.Height+2*r),
+			}
+			exclude := rng.Intn(n + 1)
+			if !sameInts(g.Neighbors(p, exclude), bruteNeighbors(entries, p, r, exclude)) {
+				return false
+			}
+			if g.HasNeighbor(p, exclude) != (len(bruteNeighbors(entries, p, r, exclude)) > 0) {
+				return false
+			}
+		}
+		return g.Len() == len(entries)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphMatchesAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := &Deployment{Region: Region{Width: 800, Height: 800}, Range: 50}
+	for i := 0; i < 300; i++ {
+		d.Pos = append(d.Pos, Point{X: rng.Float64() * 800, Y: rng.Float64() * 800})
+	}
+	fast, ref := d.Graph(), d.GraphAllPairs()
+	if !fast.Equal(ref) {
+		t.Fatalf("grid graph differs: %d/%d nodes, %d/%d edges",
+			fast.NumNodes(), ref.NumNodes(), fast.NumEdges(), ref.NumEdges())
+	}
+	for _, id := range ref.Nodes() {
+		a, b := fast.Neighbors(id), ref.Neighbors(id)
+		if len(a) != len(b) {
+			t.Fatalf("neighbor count of %d: %d vs %d", id, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("neighbor order of %d differs: %v vs %v", id, a, b)
+			}
+		}
+	}
+	if !d.IsUnitDiskGraph(fast) {
+		t.Fatal("grid graph is not the unit-disk graph")
+	}
+}
+
+func TestDeploymentIndexTracksAppends(t *testing.T) {
+	d := &Deployment{Region: Region{Width: 400, Height: 400}, Range: 50}
+	d.Pos = append(d.Pos, Point{X: 100, Y: 100})
+	if got := d.NeighborsOf(Point{X: 120, Y: 100}, -1); !sameInts(got, []int{0}) {
+		t.Fatalf("NeighborsOf = %v", got)
+	}
+	// Appends after the first query must be picked up automatically.
+	d.Pos = append(d.Pos, Point{X: 130, Y: 100})
+	if got := d.NeighborsOf(Point{X: 120, Y: 100}, -1); !sameInts(got, []int{0, 1}) {
+		t.Fatalf("NeighborsOf after append = %v", got)
+	}
+	if !d.HasNeighbor(Point{X: 120, Y: 100}, 0) {
+		t.Fatal("HasNeighbor missed appended node")
+	}
+	// In-place edits require InvalidateIndex.
+	d.Pos[0] = Point{X: 300, Y: 300}
+	d.InvalidateIndex()
+	if got := d.NeighborsOf(Point{X: 120, Y: 100}, -1); !sameInts(got, []int{1}) {
+		t.Fatalf("NeighborsOf after edit+invalidate = %v", got)
+	}
+	// Truncation forces a rebuild even without InvalidateIndex.
+	d.Pos = d.Pos[:1]
+	if got := d.NeighborsOf(Point{X: 300, Y: 300}, -1); !sameInts(got, []int{0}) {
+		t.Fatalf("NeighborsOf after truncation = %v", got)
+	}
+}
+
+// FuzzGridEquivalence cross-checks the spatial index against the brute
+// force O(n^2) path on fuzz-chosen deployments: NeighborsOf must return the
+// same indices in the same ascending order as NeighborsOfAllPairs, and
+// Graph must equal GraphAllPairs.
+func FuzzGridEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(40), uint16(500), uint16(60))
+	f.Add(int64(99), uint8(3), uint16(80), uint16(200))
+	f.Add(int64(7), uint8(120), uint16(1200), uint16(50))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8, sideRaw, rangeRaw uint16) {
+		rng := rand.New(rand.NewSource(seed))
+		region := Region{
+			Width:  50 + float64(sideRaw%1500),
+			Height: 50 + float64(rangeRaw%1500),
+		}
+		r := 10 + float64(rangeRaw%150)
+		d := &Deployment{Region: region, Range: r}
+		n := int(nRaw)%80 + 1
+		for i := 0; i < n; i++ {
+			d.Pos = append(d.Pos, Point{X: rng.Float64() * region.Width, Y: rng.Float64() * region.Height})
+		}
+		fast, ref := d.Graph(), d.GraphAllPairs()
+		if !fast.Equal(ref) {
+			t.Fatalf("grid graph differs from all-pairs: %d/%d edges", fast.NumEdges(), ref.NumEdges())
+		}
+		for _, id := range ref.Nodes() {
+			a, b := fast.Neighbors(id), ref.Neighbors(id)
+			if len(a) != len(b) {
+				t.Fatalf("neighbor count of %d: %v vs %v", id, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("neighbor order of %d: %v vs %v", id, a, b)
+				}
+			}
+		}
+		for q := 0; q < 20; q++ {
+			p := Point{
+				X: -r + rng.Float64()*(region.Width+2*r),
+				Y: -r + rng.Float64()*(region.Height+2*r),
+			}
+			self := rng.Intn(n+2) - 1
+			got := d.NeighborsOf(p, self)
+			want := d.NeighborsOfAllPairs(p, self)
+			if !sameInts(got, want) {
+				t.Fatalf("NeighborsOf(%v,%d) = %v, want %v", p, self, got, want)
+			}
+			if d.HasNeighbor(p, self) != (len(want) > 0) {
+				t.Fatalf("HasNeighbor(%v,%d) disagrees with brute force", p, self)
+			}
+		}
+	})
+}

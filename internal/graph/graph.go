@@ -19,9 +19,22 @@ type NodeID int
 
 // Graph is a simple undirected graph without self-loops or parallel edges.
 // The zero value is not usable; call New.
+//
+// Sorted adjacency and node listings are cached between mutations so that
+// the traversal and protocol hot loops pay no per-call sort or allocation;
+// see Neighbors and Nodes for the sharing contract.
 type Graph struct {
 	adj   map[NodeID]map[NodeID]struct{}
 	edges int
+
+	// nbrCache holds the sorted adjacency slice of each node, built lazily
+	// by Neighbors and dropped per-node whenever that node's adjacency
+	// mutates. Cached slices are exactly sized (len == cap) so a caller
+	// append always reallocates instead of writing into the cache.
+	nbrCache map[NodeID][]NodeID
+	// nodeCache holds the sorted node listing, dropped on any node-set
+	// mutation.
+	nodeCache []NodeID
 }
 
 // New returns an empty graph.
@@ -33,6 +46,7 @@ func New() *Graph {
 func (g *Graph) AddNode(id NodeID) {
 	if _, ok := g.adj[id]; !ok {
 		g.adj[id] = make(map[NodeID]struct{})
+		g.nodeCache = nil
 	}
 }
 
@@ -51,9 +65,12 @@ func (g *Graph) RemoveNode(id NodeID) {
 	}
 	for n := range nbrs {
 		delete(g.adj[n], id)
+		delete(g.nbrCache, n)
 		g.edges--
 	}
 	delete(g.adj, id)
+	delete(g.nbrCache, id)
+	g.nodeCache = nil
 }
 
 // AddEdge inserts the undirected edge {u, v}, adding endpoints as needed.
@@ -70,6 +87,8 @@ func (g *Graph) AddEdge(u, v NodeID) error {
 	g.adj[u][v] = struct{}{}
 	g.adj[v][u] = struct{}{}
 	g.edges++
+	delete(g.nbrCache, u)
+	delete(g.nbrCache, v)
 	return nil
 }
 
@@ -81,6 +100,8 @@ func (g *Graph) RemoveEdge(u, v NodeID) {
 	delete(g.adj[u], v)
 	delete(g.adj[v], u)
 	g.edges--
+	delete(g.nbrCache, u)
+	delete(g.nbrCache, v)
 }
 
 // HasEdge reports whether {u, v} is an edge.
@@ -95,19 +116,31 @@ func (g *Graph) NumNodes() int { return len(g.adj) }
 // NumEdges returns the edge count.
 func (g *Graph) NumEdges() int { return g.edges }
 
-// Nodes returns all node IDs in ascending order.
+// Nodes returns all node IDs in ascending order. The result is cached and
+// shared until the node set mutates: callers must not modify it. Appending
+// to it is safe (the cache is exactly sized, so append reallocates).
 func (g *Graph) Nodes() []NodeID {
+	if g.nodeCache != nil {
+		return g.nodeCache
+	}
 	out := make([]NodeID, 0, len(g.adj))
 	for id := range g.adj {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	g.nodeCache = out
 	return out
 }
 
-// Neighbors returns the neighbors of id in ascending order. The result is a
-// fresh slice the caller may modify. Absent nodes yield nil.
+// Neighbors returns the neighbors of id in ascending order. Absent nodes
+// yield nil. The result is cached and shared until id's adjacency mutates:
+// callers must not modify it (appending is safe — the cache is exactly
+// sized, so append reallocates). On an unmutated graph repeated calls are
+// allocation-free.
 func (g *Graph) Neighbors(id NodeID) []NodeID {
+	if out, ok := g.nbrCache[id]; ok {
+		return out
+	}
 	nbrs, ok := g.adj[id]
 	if !ok {
 		return nil
@@ -117,6 +150,10 @@ func (g *Graph) Neighbors(id NodeID) []NodeID {
 		out = append(out, n)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if g.nbrCache == nil {
+		g.nbrCache = make(map[NodeID][]NodeID, len(g.adj))
+	}
+	g.nbrCache[id] = out
 	return out
 }
 
@@ -185,26 +222,31 @@ type BFSResult struct {
 
 // BFS runs a breadth-first traversal from root. Neighbor expansion is in
 // ascending ID order, so the result is deterministic. If root is absent the
-// result is empty.
+// result is empty. Order doubles as the work queue and all buffers are
+// preallocated to the reachable-set bound, so a traversal performs a
+// constant number of allocations.
 func (g *Graph) BFS(root NodeID) BFSResult {
-	res := BFSResult{Parent: make(map[NodeID]NodeID), Depth: make(map[NodeID]int)}
 	if !g.HasNode(root) {
-		return res
+		return BFSResult{Parent: make(map[NodeID]NodeID), Depth: make(map[NodeID]int)}
+	}
+	n := len(g.adj)
+	res := BFSResult{
+		Order:  make([]NodeID, 0, n),
+		Parent: make(map[NodeID]NodeID, n),
+		Depth:  make(map[NodeID]int, n),
 	}
 	res.Depth[root] = 0
 	res.Order = append(res.Order, root)
-	queue := []NodeID{root}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(res.Order); head++ {
+		u := res.Order[head]
+		du := res.Depth[u]
 		for _, v := range g.Neighbors(u) {
 			if _, seen := res.Depth[v]; seen {
 				continue
 			}
-			res.Depth[v] = res.Depth[u] + 1
+			res.Depth[v] = du + 1
 			res.Parent[v] = u
 			res.Order = append(res.Order, v)
-			queue = append(queue, v)
 		}
 	}
 	return res
@@ -242,6 +284,71 @@ func (g *Graph) Components() [][]NodeID {
 		comps = append(comps, comp)
 	}
 	return comps
+}
+
+// ArticulationPoints returns the cut vertices of the graph: the nodes
+// whose removal increases the number of connected components. For a
+// connected graph this is exactly the set of nodes that are NOT safe to
+// remove while keeping the remainder connected, which makes one O(n+m)
+// pass replace a per-candidate connectivity probe in the churn generators.
+// The traversal expands neighbors in ascending order, so the computation
+// is deterministic; the result is a set (iterate g.Nodes() for order).
+func (g *Graph) ArticulationPoints() map[NodeID]bool {
+	n := len(g.adj)
+	disc := make(map[NodeID]int, n)
+	low := make(map[NodeID]int, n)
+	parent := make(map[NodeID]NodeID, n)
+	art := make(map[NodeID]bool)
+	timer := 0
+	type frame struct {
+		u    NodeID
+		next int
+	}
+	stack := make([]frame, 0, n)
+	for _, root := range g.Nodes() {
+		if _, seen := disc[root]; seen {
+			continue
+		}
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		rootChildren := 0
+		stack = append(stack[:0], frame{u: root})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			nbrs := g.Neighbors(f.u)
+			if f.next < len(nbrs) {
+				v := nbrs[f.next]
+				f.next++
+				if _, seen := disc[v]; !seen {
+					parent[v] = f.u
+					if f.u == root {
+						rootChildren++
+					}
+					disc[v] = timer
+					low[v] = timer
+					timer++
+					stack = append(stack, frame{u: v})
+				} else if p, ok := parent[f.u]; (!ok || v != p) && disc[v] < low[f.u] {
+					low[f.u] = disc[v]
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				if p, ok := parent[f.u]; ok {
+					if low[f.u] < low[p] {
+						low[p] = low[f.u]
+					}
+					if p != root && low[f.u] >= disc[p] {
+						art[p] = true
+					}
+				}
+			}
+		}
+		if rootChildren > 1 {
+			art[root] = true
+		}
+	}
+	return art
 }
 
 // Eccentricity returns the maximum BFS distance from id to any reachable

@@ -116,22 +116,138 @@ func TestRemoveNode(t *testing.T) {
 	}
 }
 
-func TestNeighborsSortedAndFresh(t *testing.T) {
+func TestNeighborsSortedAndCached(t *testing.T) {
 	g := New()
 	mustEdge(t, g, 5, 9)
 	mustEdge(t, g, 5, 1)
 	mustEdge(t, g, 5, 4)
 	nbrs := g.Neighbors(5)
 	want := []NodeID{1, 4, 9}
+	if len(nbrs) != len(want) {
+		t.Fatalf("Neighbors(5) = %v, want %v", nbrs, want)
+	}
 	for i, n := range nbrs {
 		if n != want[i] {
 			t.Fatalf("Neighbors(5) = %v, want %v", nbrs, want)
 		}
 	}
-	nbrs[0] = 77 // must not alias internal state
+	// The cached slice is exactly sized, so appending to the shared result
+	// must reallocate rather than scribble past the cache.
+	if len(nbrs) != cap(nbrs) {
+		t.Fatalf("cached slice not exactly sized: len %d cap %d", len(nbrs), cap(nbrs))
+	}
+	grown := append(nbrs, 77)
 	again := g.Neighbors(5)
-	if again[0] != 1 {
-		t.Fatal("Neighbors returned aliased slice")
+	if len(again) != 3 {
+		t.Fatalf("append to returned slice corrupted cache: %v", again)
+	}
+	_ = grown
+}
+
+func TestNeighborsCacheInvalidation(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 1, 3)
+	if got := g.Neighbors(1); len(got) != 2 {
+		t.Fatalf("Neighbors(1) = %v", got)
+	}
+	mustEdge(t, g, 1, 4)
+	if got := g.Neighbors(1); len(got) != 3 || got[2] != 4 {
+		t.Fatalf("cache stale after AddEdge: %v", got)
+	}
+	g.RemoveEdge(1, 2)
+	if got := g.Neighbors(1); len(got) != 2 || got[0] != 3 {
+		t.Fatalf("cache stale after RemoveEdge: %v", got)
+	}
+	g.RemoveNode(3)
+	if got := g.Neighbors(1); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("cache stale after RemoveNode of neighbor: %v", got)
+	}
+	if got := g.Nodes(); len(got) != 3 {
+		t.Fatalf("Nodes after RemoveNode = %v", got)
+	}
+	g.AddNode(9)
+	if got := g.Nodes(); len(got) != 4 || got[3] != 9 {
+		t.Fatalf("node cache stale after AddNode: %v", got)
+	}
+}
+
+func TestNeighborsAndNodesAllocationFree(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 1, 3)
+	mustEdge(t, g, 2, 3)
+	// Warm the caches.
+	_ = g.Nodes()
+	for _, id := range []NodeID{1, 2, 3} {
+		_ = g.Neighbors(id)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, id := range []NodeID{1, 2, 3} {
+			if len(g.Neighbors(id)) != 2 {
+				t.Fatal("wrong neighbor count")
+			}
+		}
+		if len(g.Nodes()) != 3 {
+			t.Fatal("wrong node count")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Neighbors/Nodes on unmutated graph allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestArticulationPoints(t *testing.T) {
+	// Path 0-1-2-3: interior nodes are cut vertices.
+	g := path(t, 4)
+	art := g.ArticulationPoints()
+	for _, tc := range []struct {
+		id   NodeID
+		want bool
+	}{{0, false}, {1, true}, {2, true}, {3, false}} {
+		if art[tc.id] != tc.want {
+			t.Fatalf("ArticulationPoints()[%d] = %v, want %v (got %v)", tc.id, art[tc.id], tc.want, art)
+		}
+	}
+	// Cycle: no cut vertices.
+	mustEdge(t, g, 3, 0)
+	if art := g.ArticulationPoints(); len(art) != 0 {
+		t.Fatalf("cycle has articulation points %v", art)
+	}
+	// Two triangles sharing node 2: only 2 is a cut vertex.
+	h := New()
+	mustEdge(t, h, 0, 1)
+	mustEdge(t, h, 1, 2)
+	mustEdge(t, h, 2, 0)
+	mustEdge(t, h, 2, 3)
+	mustEdge(t, h, 3, 4)
+	mustEdge(t, h, 4, 2)
+	art = h.ArticulationPoints()
+	if len(art) != 1 || !art[2] {
+		t.Fatalf("bowtie articulation points = %v, want {2}", art)
+	}
+}
+
+// Property: a node of a connected graph is an articulation point exactly
+// when deleting it disconnects the remainder — the equivalence the churn
+// generators rely on.
+func TestArticulationPointsMatchRemoval(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%25) + 3
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(n, n/3, rng)
+		art := g.ArticulationPoints()
+		for _, id := range g.Nodes() {
+			h := g.Clone()
+			h.RemoveNode(id)
+			if art[id] == h.Connected() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -14,6 +14,10 @@ type Tree struct {
 
 	// depthCache memoizes DepthMap between mutations; nil means stale.
 	depthCache map[NodeID]int
+	// childCache memoizes each node's sorted child slice, dropped per-node
+	// on mutation; traversals (Subtree, EulerTour, broadcast schedules)
+	// read it allocation-free.
+	childCache map[NodeID][]NodeID
 }
 
 // NewTree returns a tree containing only root.
@@ -52,6 +56,7 @@ func (t *Tree) AddChild(id, parent NodeID) error {
 	t.children[id] = make(map[NodeID]struct{})
 	t.children[parent][id] = struct{}{}
 	t.depthCache = nil
+	delete(t.childCache, parent)
 	return nil
 }
 
@@ -71,6 +76,8 @@ func (t *Tree) RemoveLeaf(id NodeID) error {
 	delete(t.parent, id)
 	delete(t.children, id)
 	t.depthCache = nil
+	delete(t.childCache, p)
+	delete(t.childCache, id)
 	return nil
 }
 
@@ -91,8 +98,10 @@ func (t *Tree) RemoveSubtree(id NodeID) ([]NodeID, error) {
 	for _, n := range nodes {
 		delete(t.parent, n)
 		delete(t.children, n)
+		delete(t.childCache, n)
 	}
 	t.depthCache = nil
+	delete(t.childCache, p)
 	return nodes, nil
 }
 
@@ -103,8 +112,14 @@ func (t *Tree) Parent(id NodeID) (NodeID, bool) {
 	return p, ok
 }
 
-// Children returns the children of id in ascending order.
+// Children returns the children of id in ascending order. The result is
+// cached and shared until id's child set mutates: callers must not modify
+// it (appending is safe — the cache is exactly sized, so append
+// reallocates).
 func (t *Tree) Children(id NodeID) []NodeID {
+	if out, ok := t.childCache[id]; ok {
+		return out
+	}
 	ch, ok := t.children[id]
 	if !ok {
 		return nil
@@ -114,6 +129,10 @@ func (t *Tree) Children(id NodeID) []NodeID {
 		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if t.childCache == nil {
+		t.childCache = make(map[NodeID][]NodeID, len(t.children))
+	}
+	t.childCache[id] = out
 	return out
 }
 
@@ -222,7 +241,7 @@ func (t *Tree) Subtree(id NodeID) []NodeID {
 	if !t.Contains(id) {
 		return nil
 	}
-	var out []NodeID
+	out := make([]NodeID, 0, t.Size())
 	var walk func(NodeID)
 	walk = func(u NodeID) {
 		out = append(out, u)
@@ -259,7 +278,7 @@ func (t *Tree) EulerTour(start NodeID) []NodeID {
 	if !t.Contains(start) {
 		return nil
 	}
-	var tour []NodeID
+	tour := make([]NodeID, 0, 2*t.Size()-1)
 	var walk func(u NodeID, from NodeID, hasFrom bool)
 	walk = func(u NodeID, from NodeID, hasFrom bool) {
 		tour = append(tour, u)

@@ -86,6 +86,16 @@ type Assignment struct {
 	rounds int
 	// recalcs counts slot recalculations.
 	recalcs int
+
+	// Scratch buffers reused across hot-path queries so steady-state
+	// condition checks (Designated, Verify, the broadcast planners via
+	// AppendInterferenceSet) allocate nothing once warm. setBuf backs
+	// Designated; calculate owns audBuf/calcSetBuf/slotBuf/forbidden.
+	setBuf     []graph.NodeID
+	audBuf     []graph.NodeID
+	calcSetBuf []graph.NodeID
+	slotBuf    []int
+	forbidden  map[int]struct{}
 }
 
 // New creates an assignment for net and computes slots for the current
@@ -207,43 +217,56 @@ func (a *Assignment) IsReceiver(k Kind, id graph.NodeID) bool {
 // depth adjacent to v in G (only that depth transmits simultaneously); for
 // L it depends on the condition mode — ConditionStrict considers every
 // adjacent L-transmitter, ConditionPaper only those at v's parent depth.
-// The result is ascending and always contains v's CNet parent when the
-// parent transmits in kind k.
+// The result is ascending, always contains v's CNet parent when the parent
+// transmits in kind k, and is freshly allocated; hot paths should use
+// AppendInterferenceSet with a reused buffer instead.
 func (a *Assignment) InterferenceSet(k Kind, v graph.NodeID) []graph.NodeID {
+	return a.AppendInterferenceSet(nil, k, v)
+}
+
+// AppendInterferenceSet appends v's interference set of kind k to dst and
+// returns the extended slice — the allocation-free form of InterferenceSet
+// used by the per-round broadcast planners.
+func (a *Assignment) AppendInterferenceSet(dst []graph.NodeID, k Kind, v graph.NodeID) []graph.NodeID {
 	depth := a.net.Tree().DepthMap()
 	dv, ok := depth[v]
 	if !ok {
-		return nil
+		return dst
 	}
-	var out []graph.NodeID
 	for _, u := range a.net.Graph().Neighbors(v) {
 		if !a.IsTransmitter(k, u) {
 			continue
 		}
 		if k == L && a.cond == ConditionStrict {
-			out = append(out, u)
+			dst = append(dst, u)
 			continue
 		}
 		if depth[u] == dv-1 {
-			out = append(out, u)
+			dst = append(dst, u)
 		}
 	}
-	return out
+	return dst
 }
 
 // Designated returns the transmitter v should tune to: the member of v's
 // interference set whose slot is unique within the set (smallest such slot
-// on ties). ok is false when the condition is violated for v.
+// on ties). ok is false when the condition is violated for v. Interference
+// sets are degree-bounded, so the quadratic uniqueness scan beats a counting
+// map and keeps the steady-state receive check allocation-free.
 func (a *Assignment) Designated(k Kind, v graph.NodeID) (u graph.NodeID, slot int, ok bool) {
-	set := a.InterferenceSet(k, v)
-	count := make(map[int]int)
-	for _, t := range set {
-		count[a.slot[k][t]]++
-	}
+	a.setBuf = a.AppendInterferenceSet(a.setBuf[:0], k, v)
+	set := a.setBuf
 	best := -1
-	for _, t := range set {
+	for i, t := range set {
 		s := a.slot[k][t]
-		if count[s] == 1 && (best == -1 || s < best) {
+		unique := true
+		for j, o := range set {
+			if j != i && a.slot[k][o] == s {
+				unique = false
+				break
+			}
+		}
+		if unique && (best == -1 || s < best) {
 			best = s
 			u = t
 		}
@@ -263,50 +286,65 @@ func (a *Assignment) conditionHolds(k Kind, v graph.NodeID) bool {
 
 // --- assignment -------------------------------------------------------------
 
-// audience returns C(y) for Procedure 1: the receivers of kind k whose
-// interference sets contain y.
-func (a *Assignment) audience(k Kind, y graph.NodeID) []graph.NodeID {
+// appendAudience appends C(y) for Procedure 1 — the receivers of kind k
+// whose interference sets contain y — to dst and returns the extended
+// slice.
+func (a *Assignment) appendAudience(dst []graph.NodeID, k Kind, y graph.NodeID) []graph.NodeID {
 	depth := a.net.Tree().DepthMap()
 	dy := depth[y]
-	var out []graph.NodeID
 	for _, v := range a.net.Graph().Neighbors(y) {
 		if !a.IsReceiver(k, v) {
 			continue
 		}
 		if k == L && a.cond == ConditionStrict {
-			out = append(out, v)
+			dst = append(dst, v)
 			continue
 		}
 		if depth[v] == dy+1 {
-			out = append(out, v)
+			dst = append(dst, v)
 		}
 	}
-	return out
+	return dst
 }
 
 // calculate runs Procedure 1 (CalculateB/LTimeSlot) for node y: each
 // receiver v in C(y) that cannot already guarantee two distinct unique
 // slots without y reports the distinct slots it hears; y takes the
 // smallest positive integer avoiding all reports. The round cost
-// 1 + |C(y)| is charged.
+// 1 + |C(y)| is charged. Per-receiver slot lists are degree-bounded, so
+// uniqueness uses a quadratic scan over the reused slotBuf instead of a
+// counting map; only the forbidden set keeps a (reused) map, since the
+// final smallest-free-slot search probes it by key.
 func (a *Assignment) calculate(k Kind, y graph.NodeID) {
-	forbidden := make(map[int]struct{})
-	aud := a.audience(k, y)
+	if a.forbidden == nil {
+		a.forbidden = make(map[int]struct{})
+	}
+	clear(a.forbidden)
+	a.audBuf = a.appendAudience(a.audBuf[:0], k, y)
+	aud := a.audBuf
 	for _, v := range aud {
-		var others []int
-		for _, t := range a.InterferenceSet(k, v) {
+		a.calcSetBuf = a.AppendInterferenceSet(a.calcSetBuf[:0], k, v)
+		a.slotBuf = a.slotBuf[:0]
+		for _, t := range a.calcSetBuf {
 			if t == y {
 				continue
 			}
-			others = append(others, a.slot[k][t])
+			a.slotBuf = append(a.slotBuf, a.slot[k][t])
 		}
-		count := make(map[int]int)
-		for _, s := range others {
-			count[s]++
-		}
+		others := a.slotBuf
 		unique := 0
-		for s, c := range count {
-			if c == 1 && s > 0 {
+		for i, s := range others {
+			if s <= 0 {
+				continue
+			}
+			dup := false
+			for j, o := range others {
+				if j != i && o == s {
+					dup = true
+					break
+				}
+			}
+			if !dup {
 				unique++
 			}
 		}
@@ -314,15 +352,15 @@ func (a *Assignment) calculate(k Kind, y graph.NodeID) {
 			// v stays safe whatever slot y takes.
 			continue
 		}
-		for s := range count {
+		for _, s := range others {
 			if s > 0 {
-				forbidden[s] = struct{}{}
+				a.forbidden[s] = struct{}{}
 			}
 		}
 	}
 	s := 1
 	for {
-		if _, bad := forbidden[s]; !bad {
+		if _, bad := a.forbidden[s]; !bad {
 			break
 		}
 		s++

@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dynsens/internal/geom"
+	"dynsens/internal/graph"
+)
+
+func sameIDs(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameEvents(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIncrementalConnectedMatchesAllPairs(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		cfg := PaperConfig(seed, 8, 80)
+		fast, err := IncrementalConnected(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := IncrementalConnectedAllPairs(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast.Pos) != len(ref.Pos) {
+			t.Fatalf("seed %d: %d vs %d nodes", seed, len(fast.Pos), len(ref.Pos))
+		}
+		for i := range fast.Pos {
+			if fast.Pos[i] != ref.Pos[i] {
+				t.Fatalf("seed %d: node %d at %v vs %v — random streams diverged", seed, i, fast.Pos[i], ref.Pos[i])
+			}
+		}
+	}
+}
+
+func TestPlacementErrorReportsDensity(t *testing.T) {
+	// A 10 km square with 1 m range cannot connect a second node by
+	// rejection sampling; the error must report the achieved density.
+	cfg := Config{Seed: 3, Region: geom.Region{Width: 10000, Height: 10000}, Range: 1, N: 3}
+	_, err := IncrementalConnected(cfg)
+	if err == nil {
+		t.Fatal("expected placement failure")
+	}
+	if !strings.Contains(err.Error(), "achieved density") {
+		t.Fatalf("error does not report density: %v", err)
+	}
+}
+
+func TestUDGStateMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	region := geom.Region{Width: 500, Height: 500}
+	st := NewUDGState(region, 60)
+	live := make(map[graph.NodeID]geom.Point)
+	for id := graph.NodeID(0); id < 40; id++ {
+		p := geom.Point{X: rng.Float64() * 500, Y: rng.Float64() * 500}
+		delta, err := st.Join(id, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live[id] = p
+		want := udgOf(live, 60).Neighbors(id)
+		if !sameIDs(delta, want) {
+			t.Fatalf("join %d delta %v, want %v", id, delta, want)
+		}
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Interleave leaves and rejoins, verifying against brute force.
+	for i := 0; i < 20; i++ {
+		id := graph.NodeID(rng.Intn(40))
+		if _, ok := st.Pos(id); ok {
+			before := udgOf(live, 60).Neighbors(id)
+			delta, err := st.Leave(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(delta, before) {
+				t.Fatalf("leave %d delta %v, want %v", id, delta, before)
+			}
+			delete(live, id)
+		} else {
+			p := geom.Point{X: rng.Float64() * 500, Y: rng.Float64() * 500}
+			if _, err := st.Apply(Event{Kind: Join, Node: id, Pos: p}); err != nil {
+				t.Fatal(err)
+			}
+			live[id] = p
+		}
+		if err := st.Verify(); err != nil {
+			t.Fatalf("after op %d: %v", i, err)
+		}
+	}
+}
+
+func TestUDGStateRejectsBadOps(t *testing.T) {
+	st := NewUDGState(geom.Region{Width: 100, Height: 100}, 50)
+	if _, err := st.Join(1, geom.Point{X: 1, Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Join(1, geom.Point{X: 2, Y: 2}); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+	if _, err := st.Leave(2); err == nil {
+		t.Fatal("leave of absent node accepted")
+	}
+	if _, err := st.Apply(Event{Kind: EventKind(9)}); err == nil {
+		t.Fatal("unknown event kind accepted")
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChurnTraceMatchesAllPairs(t *testing.T) {
+	for _, seed := range []int64{2, 9} {
+		cfg := PaperConfig(seed, 8, 50)
+		fastBase, fastEv, err := ChurnTrace(cfg, 40, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refBase, refEv, err := ChurnTraceAllPairs(cfg, 40, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fastBase.Pos) != len(refBase.Pos) {
+			t.Fatalf("seed %d: base sizes differ", seed)
+		}
+		for i := range fastBase.Pos {
+			if fastBase.Pos[i] != refBase.Pos[i] {
+				t.Fatalf("seed %d: base node %d differs", seed, i)
+			}
+		}
+		if !sameEvents(fastEv, refEv) {
+			t.Fatalf("seed %d: traces diverged:\nfast: %v\nref:  %v", seed, fastEv, refEv)
+		}
+	}
+}
+
+func TestMobilityTraceMatchesAllPairs(t *testing.T) {
+	for _, seed := range []int64{4, 13} {
+		cfg := PaperConfig(seed, 8, 50)
+		fastBase, fastEv, err := MobilityTrace(cfg, 20, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refBase, refEv, err := MobilityTraceAllPairs(cfg, 20, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fastBase.Pos {
+			if fastBase.Pos[i] != refBase.Pos[i] {
+				t.Fatalf("seed %d: base node %d differs", seed, i)
+			}
+		}
+		if !sameEvents(fastEv, refEv) {
+			t.Fatalf("seed %d: traces diverged:\nfast: %v\nref:  %v", seed, fastEv, refEv)
+		}
+	}
+}
+
+// FuzzChurnEquivalence drives the incremental and all-pairs generators with
+// fuzz-chosen parameters and asserts byte-identical traces, then replays
+// the trace through a UDGState, cross-checking the maintained graph against
+// the from-scratch unit-disk graph after every event.
+func FuzzChurnEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(30), uint8(20), uint8(102))
+	f.Add(int64(55), uint8(10), uint8(35), uint8(230))
+	f.Add(int64(7), uint8(60), uint8(12), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, stepsRaw, fracRaw uint8) {
+		n := int(nRaw)%50 + 3
+		steps := int(stepsRaw) % 30
+		frac := float64(fracRaw) / 255
+		cfg := PaperConfig(seed, 6, n)
+		fastBase, fastEv, err := ChurnTrace(cfg, steps, frac)
+		if err != nil {
+			t.Skip("placement failed for this configuration")
+		}
+		refBase, refEv, err := ChurnTraceAllPairs(cfg, steps, frac)
+		if err != nil {
+			t.Fatalf("all-pairs failed where grid path succeeded: %v", err)
+		}
+		for i := range fastBase.Pos {
+			if fastBase.Pos[i] != refBase.Pos[i] {
+				t.Fatalf("base node %d differs: %v vs %v", i, fastBase.Pos[i], refBase.Pos[i])
+			}
+		}
+		if !sameEvents(fastEv, refEv) {
+			t.Fatalf("traces diverged:\nfast: %v\nref:  %v", fastEv, refEv)
+		}
+		// Replay, verifying incremental maintenance at every step.
+		st := NewUDGState(cfg.Region, cfg.Range)
+		live := make(map[graph.NodeID]geom.Point)
+		for i, p := range fastBase.Pos {
+			if _, err := st.Join(graph.NodeID(i), p); err != nil {
+				t.Fatal(err)
+			}
+			live[graph.NodeID(i)] = p
+		}
+		for i, ev := range fastEv {
+			if _, err := st.Apply(ev); err != nil {
+				t.Fatalf("event %d: %v", i, err)
+			}
+			switch ev.Kind {
+			case Join:
+				live[ev.Node] = ev.Pos
+			case Leave:
+				delete(live, ev.Node)
+			}
+			if err := st.Verify(); err != nil {
+				t.Fatalf("after event %d: %v", i, err)
+			}
+			if !st.Graph().Equal(udgOf(live, cfg.Range)) {
+				t.Fatalf("graph mismatch after event %d", i)
+			}
+			if !st.Graph().Connected() {
+				t.Fatalf("network disconnected after event %d", i)
+			}
+		}
+	})
+}

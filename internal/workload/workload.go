@@ -5,12 +5,18 @@
 // and multicast group assignments.
 //
 // Every generator is driven by an explicit seed so experiments are exactly
-// reproducible.
+// reproducible. The trace generators maintain the evolving unit-disk graph
+// incrementally (UDGState) on top of a spatial grid, so traces scale far
+// past the paper's n=500; the original all-pairs implementations are
+// retained (*AllPairs) as reference baselines, and equivalence tests assert
+// the two paths produce identical deployments, events, and edge orders.
 package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"dynsens/internal/geom"
 	"dynsens/internal/graph"
@@ -52,12 +58,20 @@ func PaperConfig(seed int64, side, n int) Config {
 // maxPlacementAttempts bounds rejection sampling per node before giving up.
 const maxPlacementAttempts = 200000
 
+// noExclude is a grid key that is never inserted, used to exclude nothing
+// from a neighbor query. Node IDs in traces are non-negative, but fuzzing
+// may apply arbitrary IDs, so the sentinel sits outside the int range any
+// NodeID maps to.
+const noExclude = math.MinInt
+
 // IncrementalConnected places N nodes one at a time: the first uniformly at
 // random, each later node uniformly at random but accepted only if it is
 // within communication range of an already-placed node. This mirrors the
 // paper's self-constructing network, where every arriving node performs
 // node-move-in and therefore must hear the existing network. The resulting
-// unit-disk graph is connected by construction at any density.
+// unit-disk graph is connected by construction at any density. The
+// acceptance check runs on the deployment's spatial grid, so seeding is
+// O(attempts) instead of O(n * attempts).
 func IncrementalConnected(cfg Config) (*geom.Deployment, error) {
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("workload: N must be positive, got %d", cfg.N)
@@ -69,18 +83,55 @@ func IncrementalConnected(cfg Config) (*geom.Deployment, error) {
 		placed := false
 		for attempt := 0; attempt < maxPlacementAttempts; attempt++ {
 			p := randomPoint(rng, cfg.Region)
-			if len(d.NeighborsOf(p, -1)) > 0 {
+			if d.HasNeighbor(p, -1) {
 				d.Pos = append(d.Pos, p)
 				placed = true
 				break
 			}
 		}
 		if !placed {
-			return nil, fmt.Errorf("workload: could not connect node %d after %d attempts (range %.0f m too small for region)",
-				len(d.Pos), maxPlacementAttempts, cfg.Range)
+			return nil, placementError(cfg, len(d.Pos))
 		}
 	}
 	return d, nil
+}
+
+// IncrementalConnectedAllPairs is the brute-force reference for
+// IncrementalConnected: the acceptance check scans every placed node. It
+// consumes the random stream identically, so on success it returns the
+// exact same deployment.
+func IncrementalConnectedAllPairs(cfg Config) (*geom.Deployment, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("workload: N must be positive, got %d", cfg.N)
+	}
+	rng := cfg.rng(0)
+	d := &geom.Deployment{Region: cfg.Region, Range: cfg.Range}
+	d.Pos = append(d.Pos, randomPoint(rng, cfg.Region))
+	for len(d.Pos) < cfg.N {
+		placed := false
+		for attempt := 0; attempt < maxPlacementAttempts; attempt++ {
+			p := randomPoint(rng, cfg.Region)
+			if len(d.NeighborsOfAllPairs(p, -1)) > 0 {
+				d.Pos = append(d.Pos, p)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, placementError(cfg, len(d.Pos))
+		}
+	}
+	return d, nil
+}
+
+// placementError explains a failed incremental placement in terms of the
+// achieved density: the expected number of placed nodes audible from a
+// uniform sample. Values well below 1 mean the region is too sparse for
+// rejection sampling to connect new nodes.
+func placementError(cfg Config, placed int) error {
+	coverage := float64(placed) * math.Pi * cfg.Range * cfg.Range / cfg.Region.Area()
+	return fmt.Errorf("workload: could not connect node %d/%d after %d attempts: achieved density %.4f expected in-range nodes per uniform sample (range %.0f m over %.0fx%.0f m); increase Range, shrink the Region, or lower N",
+		placed, cfg.N, maxPlacementAttempts, coverage, cfg.Range, cfg.Region.Width, cfg.Region.Height)
 }
 
 // Uniform places N nodes independently and uniformly at random. The
@@ -152,15 +203,331 @@ type Event struct {
 	Pos  geom.Point   // for Join
 }
 
+// UDGState maintains the unit-disk graph of a churning node population
+// incrementally: each Join inserts one node plus its delta edge set (found
+// via the spatial grid in O(neighbors)) and each Leave removes one node
+// plus its incident edges, replacing the from-scratch udgOf recomputation
+// the all-pairs trace generators perform per event. Verify checks the
+// maintained state against the brute-force reference.
+type UDGState struct {
+	region geom.Region
+	rng    float64
+	pos    map[graph.NodeID]geom.Point
+	g      *graph.Graph
+	grid   *geom.Grid
+	buf    []int // scratch for grid queries
+}
+
+// NewUDGState returns an empty state over region with communication range
+// rng.
+func NewUDGState(region geom.Region, rng float64) *UDGState {
+	return &UDGState{
+		region: region,
+		rng:    rng,
+		pos:    make(map[graph.NodeID]geom.Point),
+		g:      graph.New(),
+		grid:   geom.NewGrid(region, rng),
+	}
+}
+
+// Len returns the number of live nodes.
+func (s *UDGState) Len() int { return len(s.pos) }
+
+// Pos returns the position of a live node.
+func (s *UDGState) Pos(id graph.NodeID) (geom.Point, bool) {
+	p, ok := s.pos[id]
+	return p, ok
+}
+
+// Graph returns the maintained unit-disk graph (shared, do not mutate).
+func (s *UDGState) Graph() *graph.Graph { return s.g }
+
+// Join inserts node id at p and returns the nodes it became adjacent to,
+// ascending — the delta edge set of the event.
+func (s *UDGState) Join(id graph.NodeID, p geom.Point) ([]graph.NodeID, error) {
+	if _, dup := s.pos[id]; dup {
+		return nil, fmt.Errorf("workload: join of existing node %d", id)
+	}
+	s.buf = s.grid.AppendNeighbors(s.buf[:0], p, noExclude)
+	delta := make([]graph.NodeID, 0, len(s.buf))
+	s.g.AddNode(id)
+	for _, j := range s.buf {
+		nb := graph.NodeID(j)
+		if err := s.g.AddEdge(id, nb); err != nil {
+			return nil, err
+		}
+		delta = append(delta, nb)
+	}
+	s.grid.Insert(int(id), p)
+	s.pos[id] = p
+	return delta, nil
+}
+
+// Leave removes node id and returns the nodes it was adjacent to,
+// ascending — the delta edge set of the event.
+func (s *UDGState) Leave(id graph.NodeID) ([]graph.NodeID, error) {
+	p, ok := s.pos[id]
+	if !ok {
+		return nil, fmt.Errorf("workload: leave of absent node %d", id)
+	}
+	delta := append([]graph.NodeID(nil), s.g.Neighbors(id)...)
+	s.g.RemoveNode(id)
+	s.grid.Remove(int(id), p)
+	delete(s.pos, id)
+	return delta, nil
+}
+
+// Apply replays one trace event and returns the delta edge set.
+func (s *UDGState) Apply(ev Event) ([]graph.NodeID, error) {
+	switch ev.Kind {
+	case Join:
+		return s.Join(ev.Node, ev.Pos)
+	case Leave:
+		return s.Leave(ev.Node)
+	default:
+		return nil, fmt.Errorf("workload: unknown event kind %v", ev.Kind)
+	}
+}
+
+// HasNeighbor reports whether p is within range of any live node.
+func (s *UDGState) HasNeighbor(p geom.Point) bool {
+	return s.grid.HasNeighbor(p, noExclude)
+}
+
+// Verify checks the incrementally maintained state against the brute-force
+// reference: the graph must equal the from-scratch unit-disk graph of the
+// live positions (identical node sets, edge sets, and ascending neighbor
+// orders) and the grid must hold exactly the live nodes.
+func (s *UDGState) Verify() error {
+	want := udgOf(s.pos, s.rng)
+	if !s.g.Equal(want) {
+		return fmt.Errorf("workload: incremental graph diverged from brute-force UDG (%d/%d nodes, %d/%d edges)",
+			s.g.NumNodes(), want.NumNodes(), s.g.NumEdges(), want.NumEdges())
+	}
+	for _, id := range want.Nodes() {
+		a, b := s.g.Neighbors(id), want.Neighbors(id)
+		if len(a) != len(b) {
+			return fmt.Errorf("workload: neighbor count of %d diverged: %d vs %d", id, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return fmt.Errorf("workload: neighbor order of %d diverged at %d: %v vs %v", id, i, a, b)
+			}
+		}
+	}
+	if s.grid.Len() != len(s.pos) {
+		return fmt.Errorf("workload: grid holds %d entries for %d live nodes", s.grid.Len(), len(s.pos))
+	}
+	for _, id := range s.g.Nodes() {
+		got := s.grid.Neighbors(s.pos[id], int(id))
+		want := make([]int, 0, len(got))
+		for _, nb := range s.g.Neighbors(id) {
+			want = append(want, int(nb))
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("workload: grid neighbors of %d diverged: %v vs %v", id, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("workload: grid neighbor order of %d diverged: %v vs %v", id, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// connectedPoint samples a point in range of at least one live node, using
+// the grid for the O(1) acceptance check.
+func (s *UDGState) connectedPoint(r *rand.Rand) (geom.Point, bool) {
+	for attempt := 0; attempt < maxPlacementAttempts; attempt++ {
+		p := geom.Point{X: r.Float64() * s.region.Width, Y: r.Float64() * s.region.Height}
+		if s.grid.HasNeighbor(p, noExclude) {
+			return p, true
+		}
+	}
+	return geom.Point{}, false
+}
+
+// nearbyConnectedPoint samples a point within radius of old that hears at
+// least one live node.
+func (s *UDGState) nearbyConnectedPoint(old geom.Point, radius float64, r *rand.Rand) (geom.Point, bool) {
+	for attempt := 0; attempt < 2000; attempt++ {
+		p := geom.Point{
+			X: old.X + (r.Float64()*2-1)*radius,
+			Y: old.Y + (r.Float64()*2-1)*radius,
+		}
+		if !s.region.Contains(p) || p.Dist(old) > radius {
+			continue
+		}
+		if s.grid.HasNeighbor(p, noExclude) {
+			return p, true
+		}
+	}
+	return geom.Point{}, false
+}
+
+// removableNode picks a random live node whose removal keeps the remaining
+// unit-disk graph connected. On a connected graph this is one articulation-
+// point computation (O(n+m)) instead of a per-candidate connectivity probe;
+// the disconnected case (never produced by the trace generators, reachable
+// via direct UDGState use) falls back to per-candidate checks so the
+// decision stays exactly equivalent to the all-pairs reference.
+func (s *UDGState) removableNode(r *rand.Rand) (graph.NodeID, bool) {
+	ids := s.g.Nodes()
+	if len(ids) == 0 {
+		return 0, false
+	}
+	off := r.Intn(len(ids))
+	if s.g.Connected() {
+		art := s.g.ArticulationPoints()
+		for k := 0; k < len(ids); k++ {
+			cand := ids[(off+k)%len(ids)]
+			if !art[cand] {
+				return cand, true
+			}
+		}
+		return 0, false
+	}
+	for k := 0; k < len(ids); k++ {
+		cand := ids[(off+k)%len(ids)]
+		if s.removalKeepsConnected(cand) {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// removalKeepsConnected temporarily removes cand, checks connectivity of
+// the remainder, and restores the node with its edges.
+func (s *UDGState) removalKeepsConnected(cand graph.NodeID) bool {
+	saved := append([]graph.NodeID(nil), s.g.Neighbors(cand)...)
+	s.g.RemoveNode(cand)
+	ok := s.g.Connected()
+	s.g.AddNode(cand)
+	for _, n := range saved {
+		// AddEdge cannot fail: cand was never a self-neighbor.
+		_ = s.g.AddEdge(cand, n)
+	}
+	return ok
+}
+
+// seedState builds a UDGState holding the base deployment's nodes 0..N-1.
+func seedState(cfg Config, base *geom.Deployment) (*UDGState, error) {
+	st := NewUDGState(cfg.Region, cfg.Range)
+	for i, p := range base.Pos {
+		if _, err := st.Join(graph.NodeID(i), p); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
 // ChurnTrace generates a sequence of joins and leaves starting from an
 // initial deployment. Leaves only remove nodes whose departure keeps the
 // remaining unit-disk graph connected (the paper's node-move-out assumes the
 // residual G is connected); joins place nodes that connect to the current
 // network. leaveFrac in [0,1] is the approximate fraction of leave events.
 // Returned events reference node IDs in the combined space: initial nodes
-// are 0..N-1 and joined nodes get fresh increasing IDs.
+// are 0..N-1 and joined nodes get fresh increasing IDs. The graph is
+// maintained incrementally per event; ChurnTraceAllPairs is the reference
+// implementation this is equivalence-tested against.
 func ChurnTrace(cfg Config, steps int, leaveFrac float64) (*geom.Deployment, []Event, error) {
 	base, err := IncrementalConnected(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := cfg.rng(1)
+	st, err := seedState(cfg, base)
+	if err != nil {
+		return nil, nil, err
+	}
+	nextID := graph.NodeID(cfg.N)
+	var events []Event
+	for s := 0; s < steps; s++ {
+		doLeave := rng.Float64() < leaveFrac && st.Len() > 2
+		if doLeave {
+			victim, ok := st.removableNode(rng)
+			if ok {
+				if _, err := st.Leave(victim); err != nil {
+					return nil, nil, err
+				}
+				events = append(events, Event{Kind: Leave, Node: victim})
+				continue
+			}
+			// No removable node found; fall through to a join.
+		}
+		p, ok := st.connectedPoint(rng)
+		if !ok {
+			return nil, nil, fmt.Errorf("workload: churn join placement failed at step %d", s)
+		}
+		if _, err := st.Join(nextID, p); err != nil {
+			return nil, nil, err
+		}
+		events = append(events, Event{Kind: Join, Node: nextID, Pos: p})
+		nextID++
+	}
+	return base, events, nil
+}
+
+// MobilityTrace models node movement the way the paper's topology model
+// does ("a power-trained sensor node withdraws its connection from its
+// network ... and comes back"): each move is a Leave of node v immediately
+// followed by a Join of the same v at a new position. The new position is
+// sampled within wander*Range of the old one (falling back to anywhere in
+// the region), and both halves keep the network connected. The returned
+// events alternate Leave/Join pairs for the same node. The graph is
+// maintained incrementally per move; MobilityTraceAllPairs is the
+// reference implementation this is equivalence-tested against.
+func MobilityTrace(cfg Config, moves int, wander float64) (*geom.Deployment, []Event, error) {
+	if wander <= 0 {
+		wander = 2
+	}
+	base, err := IncrementalConnected(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := cfg.rng(2)
+	st, err := seedState(cfg, base)
+	if err != nil {
+		return nil, nil, err
+	}
+	var events []Event
+	for m := 0; m < moves; m++ {
+		if st.Len() <= 2 {
+			break
+		}
+		mover, ok := st.removableNode(rng)
+		if !ok {
+			return nil, nil, fmt.Errorf("workload: no movable node at step %d", m)
+		}
+		old, _ := st.Pos(mover)
+		if _, err := st.Leave(mover); err != nil {
+			return nil, nil, err
+		}
+		// Prefer a nearby spot; fall back to anywhere connected.
+		p, ok := st.nearbyConnectedPoint(old, wander*cfg.Range, rng)
+		if !ok {
+			p, ok = st.connectedPoint(rng)
+			if !ok {
+				return nil, nil, fmt.Errorf("workload: mobility rejoin failed at step %d", m)
+			}
+		}
+		events = append(events, Event{Kind: Leave, Node: mover})
+		events = append(events, Event{Kind: Join, Node: mover, Pos: p})
+		if _, err := st.Join(mover, p); err != nil {
+			return nil, nil, err
+		}
+	}
+	return base, events, nil
+}
+
+// ChurnTraceAllPairs is the original from-scratch churn generator: every
+// event rebuilds the unit-disk graph with udgOf and probes removal
+// candidates by cloning. Retained as the reference baseline for the
+// equivalence tests and benchmarks; it consumes the random stream
+// identically to ChurnTrace, so both return the same trace.
+func ChurnTraceAllPairs(cfg Config, steps int, leaveFrac float64) (*geom.Deployment, []Event, error) {
+	base, err := IncrementalConnectedAllPairs(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -175,7 +542,7 @@ func ChurnTrace(cfg Config, steps int, leaveFrac float64) (*geom.Deployment, []E
 	for s := 0; s < steps; s++ {
 		doLeave := rng.Float64() < leaveFrac && len(live) > 2
 		if doLeave {
-			victim, ok := removableNode(live, base.Range, rng)
+			victim, ok := removableNodeAllPairs(live, base.Range, rng)
 			if ok {
 				delete(live, victim)
 				events = append(events, Event{Kind: Leave, Node: victim})
@@ -183,7 +550,7 @@ func ChurnTrace(cfg Config, steps int, leaveFrac float64) (*geom.Deployment, []E
 			}
 			// No removable node found; fall through to a join.
 		}
-		p, ok := connectedPoint(live, base.Region, base.Range, rng)
+		p, ok := connectedPointAllPairs(live, base.Region, base.Range, rng)
 		if !ok {
 			return nil, nil, fmt.Errorf("workload: churn join placement failed at step %d", s)
 		}
@@ -194,18 +561,14 @@ func ChurnTrace(cfg Config, steps int, leaveFrac float64) (*geom.Deployment, []E
 	return base, events, nil
 }
 
-// MobilityTrace models node movement the way the paper's topology model
-// does ("a power-trained sensor node withdraws its connection from its
-// network ... and comes back"): each move is a Leave of node v immediately
-// followed by a Join of the same v at a new position. The new position is
-// sampled within wander*Range of the old one (falling back to anywhere in
-// the region), and both halves keep the network connected. The returned
-// events alternate Leave/Join pairs for the same node.
-func MobilityTrace(cfg Config, moves int, wander float64) (*geom.Deployment, []Event, error) {
+// MobilityTraceAllPairs is the original from-scratch mobility generator,
+// retained as the reference baseline for the equivalence tests and
+// benchmarks; it consumes the random stream identically to MobilityTrace.
+func MobilityTraceAllPairs(cfg Config, moves int, wander float64) (*geom.Deployment, []Event, error) {
 	if wander <= 0 {
 		wander = 2
 	}
-	base, err := IncrementalConnected(cfg)
+	base, err := IncrementalConnectedAllPairs(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -219,16 +582,16 @@ func MobilityTrace(cfg Config, moves int, wander float64) (*geom.Deployment, []E
 		if len(live) <= 2 {
 			break
 		}
-		mover, ok := removableNode(live, base.Range, rng)
+		mover, ok := removableNodeAllPairs(live, base.Range, rng)
 		if !ok {
 			return nil, nil, fmt.Errorf("workload: no movable node at step %d", m)
 		}
 		old := live[mover]
 		delete(live, mover)
 		// Prefer a nearby spot; fall back to anywhere connected.
-		p, ok := nearbyConnectedPoint(live, base.Region, base.Range, old, wander*base.Range, rng)
+		p, ok := nearbyConnectedPointAllPairs(live, base.Region, base.Range, old, wander*base.Range, rng)
 		if !ok {
-			p, ok = connectedPoint(live, base.Region, base.Range, rng)
+			p, ok = connectedPointAllPairs(live, base.Region, base.Range, rng)
 			if !ok {
 				return nil, nil, fmt.Errorf("workload: mobility rejoin failed at step %d", m)
 			}
@@ -240,9 +603,9 @@ func MobilityTrace(cfg Config, moves int, wander float64) (*geom.Deployment, []E
 	return base, events, nil
 }
 
-// nearbyConnectedPoint samples a point within radius of old that hears at
-// least one live node.
-func nearbyConnectedPoint(live map[graph.NodeID]geom.Point, region geom.Region, rng float64, old geom.Point, radius float64, r *rand.Rand) (geom.Point, bool) {
+// nearbyConnectedPointAllPairs samples a point within radius of old that
+// hears at least one live node, scanning all live nodes per attempt.
+func nearbyConnectedPointAllPairs(live map[graph.NodeID]geom.Point, region geom.Region, rng float64, old geom.Point, radius float64, r *rand.Rand) (geom.Point, bool) {
 	for attempt := 0; attempt < 2000; attempt++ {
 		p := geom.Point{
 			X: old.X + (r.Float64()*2-1)*radius,
@@ -260,9 +623,10 @@ func nearbyConnectedPoint(live map[graph.NodeID]geom.Point, region geom.Region, 
 	return geom.Point{}, false
 }
 
-// removableNode picks a random live node whose removal keeps the unit-disk
-// graph of the remaining nodes connected.
-func removableNode(live map[graph.NodeID]geom.Point, rng float64, r *rand.Rand) (graph.NodeID, bool) {
+// removableNodeAllPairs picks a random live node whose removal keeps the
+// unit-disk graph of the remaining nodes connected, rebuilding the graph
+// from scratch and cloning it per candidate.
+func removableNodeAllPairs(live map[graph.NodeID]geom.Point, rng float64, r *rand.Rand) (graph.NodeID, bool) {
 	ids := make([]graph.NodeID, 0, len(live))
 	for id := range live {
 		ids = append(ids, id)
@@ -282,8 +646,9 @@ func removableNode(live map[graph.NodeID]geom.Point, rng float64, r *rand.Rand) 
 	return 0, false
 }
 
-// connectedPoint samples a point in range of at least one live node.
-func connectedPoint(live map[graph.NodeID]geom.Point, region geom.Region, rng float64, r *rand.Rand) (geom.Point, bool) {
+// connectedPointAllPairs samples a point in range of at least one live
+// node, scanning all live nodes per attempt.
+func connectedPointAllPairs(live map[graph.NodeID]geom.Point, region geom.Region, rng float64, r *rand.Rand) (geom.Point, bool) {
 	for attempt := 0; attempt < maxPlacementAttempts; attempt++ {
 		p := geom.Point{X: r.Float64() * region.Width, Y: r.Float64() * region.Height}
 		for _, q := range live {
@@ -295,6 +660,9 @@ func connectedPoint(live map[graph.NodeID]geom.Point, region geom.Region, rng fl
 	return geom.Point{}, false
 }
 
+// udgOf rebuilds the unit-disk graph of the live positions from scratch —
+// the brute-force reference the incremental maintenance is verified
+// against.
 func udgOf(live map[graph.NodeID]geom.Point, rng float64) *graph.Graph {
 	g := graph.New()
 	ids := make([]graph.NodeID, 0, len(live))
@@ -314,11 +682,7 @@ func udgOf(live map[graph.NodeID]geom.Point, rng float64) *graph.Graph {
 }
 
 func sortIDs(ids []graph.NodeID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }
 
 // Failure kills a node at the start of a given round during a broadcast.

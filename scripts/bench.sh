@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# bench.sh — run the PR2 scaling benchmarks (grid index and allocation-free
+# adjacency vs the retained all-pairs baselines) and record the numbers in
+# BENCH_PR2.json, including the derived churn/mobility replay speedups at
+# n=2000 the performance doc cites.
+#
+# Usage:
+#   scripts/bench.sh               # default -benchtime 2x
+#   BENCHTIME=10x scripts/bench.sh # more iterations, steadier numbers
+#   OUT=/tmp/b.json scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2x}"
+OUT="${OUT:-BENCH_PR2.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running benchmarks (-benchtime $BENCHTIME)..." >&2
+go test -run '^$' \
+  -bench 'UDGBuild|ChurnReplay|MobilityReplay|NeighborsCached|SteadyStateBroadcast' \
+  -benchtime "$BENCHTIME" -benchmem . | tee "$RAW" >&2
+
+awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" '
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ && NF >= 4 {
+    name = $1; iters = $2; ns = $3
+    bytes = ""; allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op")      bytes  = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    n++
+    names[n] = name; its[n] = iters; nss[n] = ns
+    bs[n] = bytes; as[n] = allocs
+    ns_by_name[name] = ns
+}
+END {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", names[i], its[i], nss[i]
+        if (bs[i] != "") printf ", \"bytes_per_op\": %s", bs[i]
+        if (as[i] != "") printf ", \"allocs_per_op\": %s", as[i]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ],\n"
+    printf "  \"speedups\": {\n"
+    churn_g = ns_by_name["BenchmarkChurnReplay/n=2000/grid"]
+    churn_a = ns_by_name["BenchmarkChurnReplay/n=2000/allpairs"]
+    mob_g   = ns_by_name["BenchmarkMobilityReplay/n=2000/grid"]
+    mob_a   = ns_by_name["BenchmarkMobilityReplay/n=2000/allpairs"]
+    udg_g   = ns_by_name["BenchmarkUDGBuild/n=10000/grid"]
+    udg_a   = ns_by_name["BenchmarkUDGBuild/n=10000/allpairs"]
+    sep = ""
+    if (churn_g > 0 && churn_a > 0) { printf "%s    \"churn_replay_n2000\": %.2f", sep, churn_a / churn_g; sep = ",\n" }
+    if (mob_g > 0 && mob_a > 0)     { printf "%s    \"mobility_replay_n2000\": %.2f", sep, mob_a / mob_g; sep = ",\n" }
+    if (udg_g > 0 && udg_a > 0)     { printf "%s    \"udg_build_n10000\": %.2f", sep, udg_a / udg_g; sep = ",\n" }
+    printf "\n  }\n}\n"
+}
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2

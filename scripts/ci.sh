@@ -1,7 +1,8 @@
 #!/bin/sh
-# CI gate: formatting, vet, build, race-enabled tests, and the dynlint
-# static analyzer (docs/static-analysis.md). Run from anywhere inside the
-# repository; any failure fails the build.
+# CI gate: formatting, vet, build, race-enabled tests, the dynlint static
+# analyzer (docs/static-analysis.md), and a single-iteration benchmark
+# smoke (docs/performance.md). Run from anywhere inside the repository; any
+# failure fails the build.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,5 +26,11 @@ go test -race ./...
 
 echo "== dynlint"
 go run ./cmd/dynlint ./...
+
+echo "== bench smoke"
+# One iteration of every benchmark, with the expensive all-pairs baselines
+# skipped (-short): catches benchmarks that rot without paying for real
+# measurement runs. scripts/bench.sh does the real runs.
+go test -run '^$' -bench . -benchtime 1x -short ./...
 
 echo "CI OK"
