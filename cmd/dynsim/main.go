@@ -9,44 +9,117 @@
 //	dynsim -n 300 -protocol dfo -failfrac 0.1
 //	dynsim -n 200 -protocol multicast -groupfrac 0.2 -channels 4
 //	dynsim -n 200 -protocol gather
+//	dynsim -n 300 -metrics metrics.prom -events trace.jsonl
+//	dynsim -n 500 -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"dynsens/internal/broadcast"
 	"dynsens/internal/core"
 	"dynsens/internal/gather"
 	"dynsens/internal/graph"
+	"dynsens/internal/obs"
 	"dynsens/internal/radio"
 	"dynsens/internal/workload"
 )
 
 func main() {
-	var (
-		n         = flag.Int("n", 200, "number of nodes")
-		side      = flag.Int("side", 10, "region side in 100 m units")
-		seed      = flag.Int64("seed", 1, "deployment seed")
-		protocol  = flag.String("protocol", "icff", "icff|cff|dfo|multicast|gather")
-		channels  = flag.Int("channels", 1, "radio channels k")
-		source    = flag.Int("source", 0, "broadcast source node ID")
-		failFrac  = flag.Float64("failfrac", 0, "fraction of nodes failing mid-broadcast")
-		groupFrac = flag.Float64("groupfrac", 0.2, "multicast group membership probability")
-		verbose   = flag.Bool("v", false, "print per-event trace")
-	)
+	var cfg runConfig
+	flag.IntVar(&cfg.N, "n", 200, "number of nodes")
+	flag.IntVar(&cfg.Side, "side", 10, "region side in 100 m units")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "deployment seed")
+	flag.StringVar(&cfg.Protocol, "protocol", "icff", "icff|cff|dfo|multicast|gather")
+	flag.IntVar(&cfg.Channels, "channels", 1, "radio channels k")
+	flag.IntVar(&cfg.Source, "source", 0, "broadcast source node ID")
+	flag.Float64Var(&cfg.FailFrac, "failfrac", 0, "fraction of nodes failing mid-broadcast")
+	flag.Float64Var(&cfg.GroupFrac, "groupfrac", 0.2, "multicast group membership probability")
+	flag.BoolVar(&cfg.Verbose, "v", false, "print per-event trace")
+	flag.StringVar(&cfg.MetricsPath, "metrics", "", "write a metrics snapshot here at exit (- for stdout, .json for JSON, else Prometheus text)")
+	flag.StringVar(&cfg.EventsPath, "events", "", "write radio events as JSONL here")
+	flag.StringVar(&cfg.PprofAddr, "pprof", "", "serve net/http/pprof and /metrics on this address during the run")
 	flag.Parse()
 
-	if err := run(*n, *side, *seed, *protocol, *channels, *source, *failFrac, *groupFrac, *verbose); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "dynsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, side int, seed int64, protocol string, channels, source int, failFrac, groupFrac float64, verbose bool) error {
-	d, err := workload.IncrementalConnected(workload.PaperConfig(seed, side, n))
+// runConfig carries every knob of one scenario; tests build it directly.
+type runConfig struct {
+	N, Side   int
+	Seed      int64
+	Protocol  string
+	Channels  int
+	Source    int
+	FailFrac  float64
+	GroupFrac float64
+	Verbose   bool
+	// MetricsPath, when non-empty, receives a metrics snapshot at exit:
+	// "-" writes Prometheus text to stdout, a ".json" suffix selects JSON,
+	// anything else Prometheus text.
+	MetricsPath string
+	// EventsPath, when non-empty, receives the radio event stream as JSONL.
+	EventsPath string
+	// PprofAddr, when non-empty, serves net/http/pprof plus a /metrics
+	// endpoint on that address for the duration of the run.
+	PprofAddr string
+}
+
+// wantObs reports whether the scenario needs a metrics registry at all.
+func (c runConfig) wantObs() bool {
+	return c.MetricsPath != "" || c.PprofAddr != ""
+}
+
+// pprofMux builds the profiling mux by hand: the binary deliberately avoids
+// http.DefaultServeMux so -pprof exposes exactly pprof and /metrics.
+func pprofMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := reg.Snapshot().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// writeMetrics dumps the final snapshot per the -metrics convention.
+func writeMetrics(reg *obs.Registry, path string) error {
+	snap := reg.Snapshot()
+	if path == "-" {
+		return snap.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if len(path) > 5 && path[len(path)-5:] == ".json" {
+		err = snap.WriteJSON(f)
+	} else {
+		err = snap.WritePrometheus(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func run(cfg runConfig) error {
+	d, err := workload.IncrementalConnected(workload.PaperConfig(cfg.Seed, cfg.Side, cfg.N))
 	if err != nil {
 		return err
 	}
@@ -58,16 +131,32 @@ func run(n, side int, seed int64, protocol string, channels, source int, failFra
 		return err
 	}
 
+	var reg *obs.Registry
+	if cfg.wantObs() {
+		reg = obs.NewRegistry()
+		net.CNet().Instrument(reg)
+		net.Slots().Record(reg)
+	}
+	if cfg.PprofAddr != "" {
+		srv := &http.Server{Addr: cfg.PprofAddr, Handler: pprofMux(reg)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "dynsim: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof+metrics listening on %s\n", cfg.PprofAddr)
+	}
+
 	st := net.Stats()
-	fmt.Printf("network: %d nodes on %dx%d units (range 50 m)\n", st.Nodes, side, side)
+	fmt.Printf("network: %d nodes on %dx%d units (range 50 m)\n", st.Nodes, cfg.Side, cfg.Side)
 	fmt.Printf("structure: clusters=%d gateways=%d members=%d height=%d\n",
 		st.Clusters, st.Gateways, st.Members, st.Height)
 	fmt.Printf("backbone: size=%d height=%d\n", st.BackboneSize, st.BackboneHeight)
 	fmt.Printf("degrees/slots: D=%d d=%d Delta=%d delta=%d (Lemma 3 bounds %d / %d)\n",
 		st.DegreeG, st.DegreeBT, st.Delta, st.SmallDelta, st.BoundL, st.BoundB)
 
-	opts := broadcast.Options{Channels: channels}
-	if verbose {
+	opts := broadcast.Options{Channels: cfg.Channels, Obs: reg}
+	if cfg.Verbose {
 		opts.Trace = func(ev radio.Event) {
 			switch ev.Kind {
 			case radio.EvTransmit:
@@ -81,20 +170,37 @@ func run(n, side int, seed int64, protocol string, channels, source int, failFra
 			}
 		}
 	}
-	if failFrac > 0 {
+	var eventsFile *os.File
+	if cfg.EventsPath != "" {
+		eventsFile, err = os.Create(cfg.EventsPath)
+		if err != nil {
+			return err
+		}
+		defer eventsFile.Close()
+		sink := obs.NewEventSink(eventsFile)
+		opts.Trace = obs.ChainHooks(opts.Trace, sink.Hook())
+		defer func() {
+			if serr := sink.Err(); serr != nil {
+				fmt.Fprintf(os.Stderr, "dynsim: event sink: %v\n", serr)
+			} else {
+				fmt.Printf("wrote %d events to %s\n", sink.Events(), cfg.EventsPath)
+			}
+		}()
+	}
+	if cfg.FailFrac > 0 {
 		horizon := 2 * (st.BackboneSize - 1)
 		if horizon < 1 {
 			horizon = 1
 		}
-		for _, f := range workload.FailureTrace(net.Graph(), net.Root(), failFrac, horizon, seed*17) {
+		for _, f := range workload.FailureTrace(net.Graph(), net.Root(), cfg.FailFrac, horizon, cfg.Seed*17) {
 			opts.Failures = append(opts.Failures, broadcast.NodeFailure{Node: f.Node, Round: f.Round})
 		}
 		fmt.Printf("injected %d node failures\n", len(opts.Failures))
 	}
 
-	src := graph.NodeID(source)
+	src := graph.NodeID(cfg.Source)
 	var m broadcast.Metrics
-	switch protocol {
+	switch cfg.Protocol {
 	case "icff":
 		m, err = net.Broadcast(src, opts)
 	case "cff":
@@ -119,12 +225,12 @@ func run(n, side int, seed int64, protocol string, channels, source int, failFra
 		fmt.Println(gm)
 		fmt.Printf("expected sum %d; reporting fraction %.3f\n", want,
 			float64(gm.Reporting)/float64(gm.Nodes))
-		return nil
+		return finishMetrics(reg, cfg)
 	case "multicast":
-		rng := rand.New(rand.NewSource(seed * 31))
+		rng := rand.New(rand.NewSource(cfg.Seed * 31))
 		joined := 0
 		for _, id := range net.CNet().Tree().Nodes() {
-			if rng.Float64() < groupFrac {
+			if rng.Float64() < cfg.GroupFrac {
 				if err := net.JoinGroup(id, 1); err != nil {
 					return err
 				}
@@ -140,12 +246,26 @@ func run(n, side int, seed int64, protocol string, channels, source int, failFra
 		fmt.Printf("multicast group 1: %d members\n", joined)
 		m, err = net.Multicast(1, src, opts)
 	default:
-		return fmt.Errorf("unknown protocol %q", protocol)
+		return fmt.Errorf("unknown protocol %q", cfg.Protocol)
 	}
 	if err != nil {
 		return err
 	}
 	fmt.Println(m)
 	fmt.Printf("delivery ratio: %.3f\n", m.DeliveryRatio())
+	return finishMetrics(reg, cfg)
+}
+
+// finishMetrics writes the -metrics dump, if requested.
+func finishMetrics(reg *obs.Registry, cfg runConfig) error {
+	if reg == nil || cfg.MetricsPath == "" {
+		return nil
+	}
+	if err := writeMetrics(reg, cfg.MetricsPath); err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	if cfg.MetricsPath != "-" {
+		fmt.Printf("wrote metrics snapshot to %s\n", cfg.MetricsPath)
+	}
 	return nil
 }

@@ -5,20 +5,26 @@
 //
 //	experiments [-fig all|8|9|10|11|bounds|channels|multicast|robust|reconfig|areas|ablation|slotcond]
 //	            [-side 10] [-sizes 100,200,300,400,500] [-seeds 5] [-baseseed 1]
-//	            [-quick]
+//	            [-quick] [-workers 0] [-metrics sweep.prom] [-pprof localhost:6060]
 //
 // With -quick a small sweep runs in a few seconds; the default parameters
-// match the paper's published 10x10-unit curves.
+// match the paper's published 10x10-unit curves. -metrics dumps sweep
+// instrumentation (point counts, per-point wall time) at exit; -pprof
+// serves net/http/pprof plus /metrics while the sweep runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"dynsens/internal/expt"
+	"dynsens/internal/obs"
 	"dynsens/internal/stats"
 )
 
@@ -32,6 +38,9 @@ func main() {
 		quick    = flag.Bool("quick", false, "small fast sweep")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		workers  = flag.Int("workers", 0, "concurrent simulation points (0 = GOMAXPROCS)")
+		metrics  = flag.String("metrics", "", "write a metrics snapshot here at exit (- for stdout, .json for JSON, else Prometheus text)")
+		ppAddr   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address during the sweep")
 	)
 	flag.Parse()
 
@@ -53,6 +62,34 @@ func main() {
 	}
 	if *quick {
 		p = expt.Quick()
+	}
+	p.Workers = *workers
+
+	var reg *obs.Registry
+	if *metrics != "" || *ppAddr != "" {
+		reg = obs.NewRegistry()
+		p.Obs = reg
+		p.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	if *ppAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := reg.Snapshot().WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		go func() {
+			if err := http.ListenAndServe(*ppAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof+metrics listening on %s\n", *ppAddr)
 	}
 
 	var selected []expt.Experiment
@@ -85,6 +122,37 @@ func main() {
 			}
 		}
 	}
+	if reg != nil && *metrics != "" {
+		if err := dumpMetrics(reg, *metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpMetrics writes the final snapshot per the -metrics convention shared
+// with dynsim: "-" means Prometheus text on stdout, a .json suffix selects
+// JSON, anything else Prometheus text.
+func dumpMetrics(reg *obs.Registry, path string) error {
+	snap := reg.Snapshot()
+	if path == "-" {
+		return snap.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var werr error
+	if strings.HasSuffix(path, ".json") {
+		werr = snap.WriteJSON(f)
+	} else {
+		werr = snap.WritePrometheus(f)
+	}
+	if werr != nil {
+		return werr
+	}
+	return f.Close()
 }
 
 func writeCSV(dir, id string, t *stats.Table) error {

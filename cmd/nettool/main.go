@@ -1,26 +1,50 @@
 // Command nettool builds a network and exports it: as indented JSON
 // (deployment geometry, cluster structure, time-slots, group lists) for
-// external tooling, or as an ASCII map of the field for a quick look.
+// external tooling, or as an ASCII map of the field for a quick look. The
+// "metrics" subcommand instead runs one instrumented broadcast and renders
+// the resulting metrics snapshot as a table.
 //
 // Examples:
 //
 //	nettool -n 200 -json out.json
 //	nettool -n 200 -ascii
 //	nettool -n 150 -groups 3 -json - | jq '.nodes[0]'
+//	nettool metrics -n 200 -protocol icff
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
+	"dynsens/internal/broadcast"
 	"dynsens/internal/core"
+	"dynsens/internal/graph"
 	"dynsens/internal/netio"
+	"dynsens/internal/obs"
 	"dynsens/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "metrics" {
+		fs := flag.NewFlagSet("nettool metrics", flag.ExitOnError)
+		var (
+			n        = fs.Int("n", 200, "number of nodes")
+			side     = fs.Int("side", 10, "region side in 100 m units")
+			seed     = fs.Int64("seed", 1, "deployment seed")
+			protocol = fs.String("protocol", "icff", "icff|cff|dfo")
+			channels = fs.Int("channels", 1, "radio channels k")
+		)
+		// ExitOnError: Parse cannot return a non-nil error here.
+		_ = fs.Parse(os.Args[2:])
+		if err := runMetrics(os.Stdout, *n, *side, *seed, *protocol, *channels); err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		n        = flag.Int("n", 200, "number of nodes")
 		side     = flag.Int("side", 10, "region side in 100 m units")
@@ -120,4 +144,40 @@ func run(n, side int, seed int64, groups int, jsonPath, dotPath, svgPath string,
 		fmt.Println("use -json or -ascii for output")
 	}
 	return nil
+}
+
+// runMetrics builds a network, runs one fully instrumented broadcast, and
+// renders the snapshot as a human-readable table on w.
+func runMetrics(w io.Writer, n, side int, seed int64, protocol string, channels int) error {
+	d, err := workload.IncrementalConnected(workload.PaperConfig(seed, side, n))
+	if err != nil {
+		return err
+	}
+	net, err := core.Build(d.Graph(), core.Config{})
+	if err != nil {
+		return err
+	}
+	if err := net.Verify(); err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	net.CNet().Instrument(reg)
+	net.Slots().Record(reg)
+
+	opts := broadcast.Options{Channels: channels, Obs: reg}
+	src := graph.NodeID(net.Root())
+	switch protocol {
+	case "icff":
+		_, err = net.Broadcast(src, opts)
+	case "cff":
+		_, err = net.BroadcastCFF(src, opts)
+	case "dfo":
+		_, err = net.BroadcastDFO(src, opts)
+	default:
+		return fmt.Errorf("unknown protocol %q (metrics supports icff|cff|dfo)", protocol)
+	}
+	if err != nil {
+		return err
+	}
+	return reg.Snapshot().WriteTable(w)
 }

@@ -49,3 +49,28 @@ func TestRunSummaryOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunMetricsTable(t *testing.T) {
+	var sb strings.Builder
+	if err := runMetrics(&sb, 40, 8, 1, "icff", 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dynsens_radio_transmissions_total",
+		"dynsens_broadcast_runs_total",
+		"dynsens_timeslot_max_slot",
+		`protocol="ICFF"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMetricsUnknownProtocol(t *testing.T) {
+	var sb strings.Builder
+	if err := runMetrics(&sb, 20, 8, 1, "nope", 1); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynsens/internal/timeslot"
+)
+
+// boundInstances is how many randomized (size, seed) deployments each
+// property below is checked on.
+const boundInstances = 50
+
+// ceilDiv is ceil(a/b) for positive ints.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// forEachInstance runs check on boundInstances randomized deployments. The
+// instance stream itself is seeded, so failures reproduce exactly.
+func forEachInstance(t *testing.T, check func(t *testing.T, a *timeslot.Assignment, n int, seed int64)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(0xb0))
+	for i := 0; i < boundInstances; i++ {
+		n := 30 + rng.Intn(110)
+		seed := int64(1 + rng.Intn(10_000))
+		a := buildAssigned(t, seed, n, timeslot.ConditionStrict)
+		check(t, a, n, seed)
+		if t.Failed() {
+			t.Fatalf("bound violated on instance %d (n=%d seed=%d)", i, n, seed)
+		}
+	}
+}
+
+// TestCFFLemma1Bounds checks Lemma 1 on real instances: plain collision-free
+// flooding from the root finishes within Delta_u*(h+1) rounds and keeps
+// every node awake at most 2*Delta_u rounds, where Delta_u is the maximum
+// unified time-slot and h the tree height.
+func TestCFFLemma1Bounds(t *testing.T) {
+	forEachInstance(t, func(t *testing.T, a *timeslot.Assignment, n int, seed int64) {
+		m, err := RunCFF(a, a.Net().Root(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltaU := a.Max(timeslot.U)
+		h := a.Net().Tree().Height()
+		if !m.Completed {
+			t.Errorf("CFF incomplete: %s", m)
+		}
+		if roundBound := deltaU * (h + 1); m.Rounds > roundBound {
+			t.Errorf("CFF rounds %d > Delta_u*(h+1) = %d (Delta_u=%d h=%d)", m.Rounds, roundBound, deltaU, h)
+		}
+		if awakeBound := 2 * deltaU; m.MaxAwake > awakeBound {
+			t.Errorf("CFF max awake %d > 2*Delta_u = %d", m.MaxAwake, awakeBound)
+		}
+	})
+}
+
+// TestICFFTheorem1Bounds checks Theorem 1 on real instances: the improved
+// protocol finishes within delta*h_BT + Delta rounds with every node awake
+// at most 2*delta + Delta rounds, where delta/Delta are the maximum b- and
+// l-slots and h_BT the backbone height.
+func TestICFFTheorem1Bounds(t *testing.T) {
+	forEachInstance(t, func(t *testing.T, a *timeslot.Assignment, n int, seed int64) {
+		m, err := RunICFF(a, a.Net().Root(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta, bigDelta := a.SmallDelta(), a.Delta()
+		hBT := a.Net().Backbone().Height()
+		if !m.Completed {
+			t.Errorf("ICFF incomplete: %s", m)
+		}
+		if roundBound := delta*hBT + bigDelta; m.Rounds > roundBound {
+			t.Errorf("ICFF rounds %d > delta*h+Delta = %d (delta=%d Delta=%d h=%d)",
+				m.Rounds, roundBound, delta, bigDelta, hBT)
+		}
+		if awakeBound := 2*delta + bigDelta; m.MaxAwake > awakeBound {
+			t.Errorf("ICFF max awake %d > 2delta+Delta = %d", m.MaxAwake, awakeBound)
+		}
+	})
+}
+
+// TestICFFMultiChannelBounds checks the k-channel refinement of Theorem 1:
+// with k channels the windows shrink to ceil(delta/k) and ceil(Delta/k), so
+// rounds stay within ceil(delta/k)*h_BT + ceil(Delta/k) and awake rounds
+// within 2*ceil(delta/k) + ceil(Delta/k).
+func TestICFFMultiChannelBounds(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		forEachInstance(t, func(t *testing.T, a *timeslot.Assignment, n int, seed int64) {
+			m, err := RunICFF(a, a.Net().Root(), Options{Channels: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bW, lW := ceilDiv(a.SmallDelta(), k), ceilDiv(a.Delta(), k)
+			hBT := a.Net().Backbone().Height()
+			if !m.Completed {
+				t.Errorf("ICFF/k=%d incomplete: %s", k, m)
+			}
+			if roundBound := bW*hBT + lW; m.Rounds > roundBound {
+				t.Errorf("ICFF/k=%d rounds %d > ceil(delta/k)*h+ceil(Delta/k) = %d", k, m.Rounds, roundBound)
+			}
+			if awakeBound := 2*bW + lW; m.MaxAwake > awakeBound {
+				t.Errorf("ICFF/k=%d max awake %d > 2*ceil(delta/k)+ceil(Delta/k) = %d", k, m.MaxAwake, awakeBound)
+			}
+		})
+	}
+}
+
+// TestDFOBounds checks the comparison protocol's bound from [19]: the
+// depth-first token tour from the root finishes within 4p-2 rounds, where p
+// is the number of cluster heads.
+func TestDFOBounds(t *testing.T) {
+	forEachInstance(t, func(t *testing.T, a *timeslot.Assignment, n int, seed int64) {
+		m, err := RunDFO(a.Net(), a.Net().Root(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := len(a.Net().Heads())
+		if !m.Completed {
+			t.Errorf("DFO incomplete: %s", m)
+		}
+		if roundBound := 4*p - 2; m.Rounds > roundBound {
+			t.Errorf("DFO rounds %d > 4p-2 = %d (p=%d)", m.Rounds, roundBound, p)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynsens/internal/graph"
+	"dynsens/internal/obs"
 	"dynsens/internal/radio"
 )
 
@@ -39,6 +40,11 @@ type Options struct {
 	LossSeed int64
 	// Trace receives engine events when non-nil.
 	Trace func(radio.Event)
+	// Obs, when non-nil, receives the run's instrumentation: radio event
+	// counters and awake histograms under a protocol label, plus the
+	// run-level broadcast metrics (see docs/observability.md). Safe to
+	// share across concurrent runs.
+	Obs *obs.Registry
 }
 
 func (o Options) channels() int {
@@ -92,6 +98,46 @@ func (m Metrics) String() string {
 		m.CompletionRound, m.MaxAwake, m.MeanAwake, m.Collisions, m.Transmissions)
 }
 
+// Metric names recorded by Metrics.Record, all labeled by protocol.
+const (
+	// MetricBroadcastRuns counts protocol runs.
+	MetricBroadcastRuns = "dynsens_broadcast_runs_total"
+	// MetricBroadcastCompletions counts runs that delivered to the whole
+	// audience.
+	MetricBroadcastCompletions = "dynsens_broadcast_completions_total"
+	// MetricBroadcastDelivered counts audience nodes that received the
+	// payload, MetricBroadcastAudience the nodes expected to.
+	MetricBroadcastDelivered = "dynsens_broadcast_delivered_nodes_total"
+	// MetricBroadcastAudience counts nodes expected to receive.
+	MetricBroadcastAudience = "dynsens_broadcast_audience_nodes_total"
+	// MetricBroadcastCompletionRound is the histogram of rounds until the
+	// last audience node first held the payload — the round-latency
+	// distribution (percentiles, not just means, matter at scale).
+	MetricBroadcastCompletionRound = "dynsens_broadcast_completion_round"
+	// MetricBroadcastScheduleRounds is the histogram of planned schedule
+	// lengths.
+	MetricBroadcastScheduleRounds = "dynsens_broadcast_schedule_rounds"
+	// MetricBroadcastMaxAwake is the histogram of per-run maximum awake
+	// rounds — the energy headline the paper optimizes.
+	MetricBroadcastMaxAwake = "dynsens_broadcast_max_awake_rounds"
+)
+
+// Record exports the run's measured outcome into reg under a
+// protocol=<name> label. Counters aggregate across runs sharing a
+// registry; histograms collect per-run distributions.
+func (m Metrics) Record(reg *obs.Registry) {
+	lbl := obs.L("protocol", m.Protocol)
+	reg.Counter(MetricBroadcastRuns, "Broadcast/multicast protocol runs.", lbl).Inc()
+	if m.Completed {
+		reg.Counter(MetricBroadcastCompletions, "Runs that reached the whole audience.", lbl).Inc()
+	}
+	reg.Counter(MetricBroadcastDelivered, "Audience nodes that received the payload.", lbl).Add(int64(m.Received))
+	reg.Counter(MetricBroadcastAudience, "Nodes expected to receive the payload.", lbl).Add(int64(m.Audience))
+	reg.Histogram(MetricBroadcastCompletionRound, "Round in which the last audience node first received.", obs.RoundBuckets(), lbl).Observe(float64(m.CompletionRound))
+	reg.Histogram(MetricBroadcastScheduleRounds, "Planned schedule length in rounds.", obs.RoundBuckets(), lbl).Observe(float64(m.ScheduleLen))
+	reg.Histogram(MetricBroadcastMaxAwake, "Per-run maximum awake rounds over all nodes.", obs.AwakeBuckets(), lbl).Observe(float64(m.MaxAwake))
+}
+
 // Plan is a fully-scheduled protocol instance ready to run.
 type Plan struct {
 	Protocol    string
@@ -132,8 +178,16 @@ func (p *Plan) Run(g *graph.Graph, opts Options) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	if opts.Trace != nil {
-		eng.SetTrace(opts.Trace)
+	var col *obs.RadioCollector
+	if opts.Obs != nil {
+		col = obs.NewRadioCollector(opts.Obs, obs.L("protocol", p.Protocol))
+	}
+	hook := opts.Trace
+	if col != nil {
+		hook = obs.ChainHooks(opts.Trace, col.Hook())
+	}
+	if hook != nil {
+		eng.SetTrace(hook)
 	}
 	for _, f := range opts.Failures {
 		eng.FailNodeAt(f.Node, f.Round)
@@ -189,6 +243,10 @@ func (p *Plan) Run(g *graph.Graph, opts Options) (Metrics, error) {
 		}
 	}
 	m.Completed = m.Received == m.Audience
+	if col != nil {
+		col.ObserveResult(res)
+		m.Record(opts.Obs)
+	}
 	return m, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"dynsens/internal/graph"
+	"dynsens/internal/obs"
 	"dynsens/internal/radio"
 )
 
@@ -27,6 +28,9 @@ type PFloodOptions struct {
 	Horizon int
 	// Failures are node deaths to inject.
 	Failures []NodeFailure
+	// Obs, when non-nil, receives run instrumentation under
+	// protocol="PFLOOD" (see broadcast.Options.Obs).
+	Obs *obs.Registry
 }
 
 // pfloodNode implements reactive probabilistic flooding on a flat network:
@@ -134,5 +138,5 @@ func RunPFlood(g *graph.Graph, source graph.NodeID, opts PFloodOptions) (Metrics
 	if err != nil {
 		return Metrics{}, err
 	}
-	return plan.Run(g, Options{Failures: opts.Failures})
+	return plan.Run(g, Options{Failures: opts.Failures, Obs: opts.Obs})
 }

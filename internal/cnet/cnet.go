@@ -104,6 +104,7 @@ type CNet struct {
 	tree   *graph.Tree
 	status map[graph.NodeID]Status
 	policy Policy
+	instr  *topoCounters // nil unless Instrument was called
 }
 
 // New creates a CNet containing only the root (a cluster head, Definition
@@ -235,6 +236,7 @@ func (c *CNet) MoveIn(id graph.NodeID, neighbors []graph.NodeID) (graph.NodeID, 
 		HeightUpdate: 2 * c.tree.Height(),
 		Moves:        1,
 	}
+	c.countMoveIn()
 	return parent, cost, nil
 }
 
@@ -309,7 +311,8 @@ func (c *CNet) InducedBackboneGraph() *graph.Graph {
 	return c.g.InducedSubgraph(c.BackboneNodes())
 }
 
-// Clone returns a deep copy (sharing the policy function).
+// Clone returns a deep copy (sharing the policy function). Instrumentation
+// is not carried over: a clone counts nothing until its own Instrument call.
 func (c *CNet) Clone() *CNet {
 	st := make(map[graph.NodeID]Status, len(c.status))
 	for k, v := range c.status {

@@ -51,7 +51,11 @@ func (c *CNet) RemoveCrashed(dead []graph.NodeID) (CrashRecord, OpCost, error) {
 	var cost OpCost
 
 	if deadSet[c.tree.Root()] {
-		return c.crashRebuild(deadSet, rec)
+		rec, cost, err := c.crashRebuild(deadSet, rec)
+		if err == nil {
+			c.countCrash(rec)
+		}
+		return rec, cost, err
 	}
 
 	// Detach the subtree of every topmost crashed node.
@@ -119,6 +123,7 @@ func (c *CNet) RemoveCrashed(dead []graph.NodeID) (CrashRecord, OpCost, error) {
 			}
 		}
 	}
+	c.countCrash(rec)
 	return rec, cost, nil
 }
 
@@ -154,6 +159,7 @@ func (c *CNet) crashRebuild(deadSet map[graph.NodeID]bool, rec CrashRecord) (Cra
 	}
 
 	rebuilt := New(newRoot, c.policy)
+	rebuilt.instr = c.instr // rebuild move-ins count like any other
 	var cost OpCost
 	for _, x := range residual.BFS(newRoot).Order[1:] {
 		var nbrs []graph.NodeID

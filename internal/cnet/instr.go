@@ -1,0 +1,81 @@
+package cnet
+
+import "dynsens/internal/obs"
+
+// Metric names recorded by an instrumented CNet.
+const (
+	// MetricMoveIns counts node-move-in operations, including the
+	// re-insertions performed internally by move-out and crash repair
+	// (each re-insertion is a node-move-in per Section 5.2).
+	MetricMoveIns = "dynsens_cnet_move_ins_total"
+	// MetricMoveOuts counts node-move-out operations.
+	MetricMoveOuts = "dynsens_cnet_move_outs_total"
+	// MetricCrashRepairs counts RemoveCrashed repairs.
+	MetricCrashRepairs = "dynsens_cnet_crash_repairs_total"
+	// MetricReinsertions counts nodes replayed through node-move-in by
+	// move-out or crash repair.
+	MetricReinsertions = "dynsens_cnet_reinsertions_total"
+	// MetricDrops counts survivors dropped because they could no longer
+	// reach the sink after a crash.
+	MetricDrops = "dynsens_cnet_drops_total"
+	// MetricRootRebuilds counts full rebuilds triggered by a departed or
+	// crashed sink.
+	MetricRootRebuilds = "dynsens_cnet_root_rebuilds_total"
+)
+
+// topoCounters holds the registered handles so the mutation hot paths pay
+// one nil check plus atomic increments, never a registry lookup.
+type topoCounters struct {
+	moveIns      *obs.Counter
+	moveOuts     *obs.Counter
+	crashRepairs *obs.Counter
+	reinserts    *obs.Counter
+	drops        *obs.Counter
+	rootRebuilds *obs.Counter
+}
+
+// Instrument starts counting topology events (join/leave/repair) into reg.
+// Call once before driving churn; counting stops when the structure is
+// cloned (clones are not instrumented).
+func (c *CNet) Instrument(reg *obs.Registry) {
+	c.instr = &topoCounters{
+		moveIns:      reg.Counter(MetricMoveIns, "Node-move-in operations (including re-insertions)."),
+		moveOuts:     reg.Counter(MetricMoveOuts, "Node-move-out operations."),
+		crashRepairs: reg.Counter(MetricCrashRepairs, "Non-graceful crash repairs."),
+		reinserts:    reg.Counter(MetricReinsertions, "Nodes replayed through node-move-in by move-out or crash repair."),
+		drops:        reg.Counter(MetricDrops, "Survivors dropped for being unreachable after a crash."),
+		rootRebuilds: reg.Counter(MetricRootRebuilds, "Full rebuilds after a departed or crashed sink."),
+	}
+}
+
+// countMoveIn records one successful node-move-in.
+func (c *CNet) countMoveIn() {
+	if c.instr != nil {
+		c.instr.moveIns.Inc()
+	}
+}
+
+// countMoveOut records one successful node-move-out.
+func (c *CNet) countMoveOut(rec MoveOutRecord) {
+	if c.instr == nil {
+		return
+	}
+	c.instr.moveOuts.Inc()
+	c.instr.reinserts.Add(int64(len(rec.Reinserted)))
+	if rec.RootChanged {
+		c.instr.rootRebuilds.Inc()
+	}
+}
+
+// countCrash records one successful crash repair.
+func (c *CNet) countCrash(rec CrashRecord) {
+	if c.instr == nil {
+		return
+	}
+	c.instr.crashRepairs.Inc()
+	c.instr.reinserts.Add(int64(len(rec.Reinserted)))
+	c.instr.drops.Add(int64(len(rec.Dropped)))
+	if rec.RootReplaced {
+		c.instr.rootRebuilds.Inc()
+	}
+}

@@ -1,0 +1,185 @@
+package cnet
+
+import (
+	"testing"
+
+	"dynsens/internal/graph"
+	"dynsens/internal/obs"
+)
+
+// counterVal reads a plain (unlabeled) counter from a snapshot, failing the
+// test when the series was never registered.
+func counterVal(t *testing.T, snap obs.Snapshot, name string) int64 {
+	t.Helper()
+	v, ok := snap.CounterValue(name)
+	if !ok {
+		t.Fatalf("counter %s not in snapshot", name)
+	}
+	return v
+}
+
+func TestInstrumentCountsTopologyEvents(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := buildPaperNet(t, 7, 40)
+	c.Instrument(reg)
+
+	// Joins: two fresh nodes hanging off existing ones.
+	next := graph.NodeID(1000)
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.MoveIn(next, []graph.NodeID{c.Root()}); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	}
+
+	// Leaves: remove non-root nodes until two move-outs succeed, summing
+	// the re-insertions their records report.
+	moveOuts, reinserts, rootRebuilds := 0, 0, 0
+	for _, id := range c.Tree().Nodes() {
+		if moveOuts == 2 {
+			break
+		}
+		if id == c.Root() {
+			continue
+		}
+		rec, _, err := c.MoveOut(id)
+		if err != nil {
+			continue // disconnecting removal; skip
+		}
+		moveOuts++
+		reinserts += len(rec.Reinserted)
+		if rec.RootChanged {
+			rootRebuilds++
+		}
+	}
+	if moveOuts != 2 {
+		t.Fatalf("only %d move-outs succeeded", moveOuts)
+	}
+
+	// A crash repair.
+	var crashTarget graph.NodeID
+	found := false
+	for _, id := range c.Tree().Nodes() {
+		if id != c.Root() && len(c.Tree().Children(id)) == 0 {
+			crashTarget = id
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no leaf to crash")
+	}
+	crec, _, err := c.RemoveCrashed([]graph.NodeID{crashTarget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reinsertsCrash := len(crec.Reinserted)
+	dropped := len(crec.Dropped)
+
+	if err := c.Verify(); err != nil {
+		t.Fatalf("structure invalid after instrumented churn: %v", err)
+	}
+
+	snap := reg.Snapshot()
+	// Every reinsertion and the two explicit joins flow through MoveIn, so
+	// move_ins >= their sum; the exact total also includes nothing else
+	// because buildPaperNet ran before Instrument.
+	wantMoveIns := int64(2 + reinserts + reinsertsCrash)
+	if got := counterVal(t, snap, MetricMoveIns); got != wantMoveIns {
+		t.Errorf("%s = %d, want %d", MetricMoveIns, got, wantMoveIns)
+	}
+	if got := counterVal(t, snap, MetricMoveOuts); got != int64(moveOuts) {
+		t.Errorf("%s = %d, want %d", MetricMoveOuts, got, moveOuts)
+	}
+	if got := counterVal(t, snap, MetricCrashRepairs); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricCrashRepairs, got)
+	}
+	if got := counterVal(t, snap, MetricReinsertions); got != int64(reinserts+reinsertsCrash) {
+		t.Errorf("%s = %d, want %d", MetricReinsertions, got, reinserts+reinsertsCrash)
+	}
+	if got := counterVal(t, snap, MetricDrops); got != int64(dropped) {
+		t.Errorf("%s = %d, want %d", MetricDrops, got, dropped)
+	}
+	if got := counterVal(t, snap, MetricRootRebuilds); got != int64(rootRebuilds) {
+		t.Errorf("%s = %d, want %d", MetricRootRebuilds, got, rootRebuilds)
+	}
+}
+
+// completeNet builds a CNet over a complete graph on n nodes, where every
+// removal keeps the residual connected (so root departures always succeed).
+func completeNet(t *testing.T, n int) *CNet {
+	t.Helper()
+	c := New(0, nil)
+	for id := graph.NodeID(1); int(id) < n; id++ {
+		nbrs := make([]graph.NodeID, id)
+		for j := range nbrs {
+			nbrs[j] = graph.NodeID(j)
+		}
+		if _, _, err := c.MoveIn(id, nbrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestInstrumentRootRebuilds(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := completeNet(t, 6)
+	c.Instrument(reg)
+
+	// Graceful root departure: rebuild path, move-ins must still count
+	// through the rebuilt structure.
+	rec, _, err := c.MoveOut(c.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.RootChanged {
+		t.Fatal("root move-out did not change the root")
+	}
+	reinserts := len(rec.Reinserted)
+
+	// Sink crash: the crash-rebuild path.
+	crec, _, err := c.RemoveCrashed([]graph.NodeID{c.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crec.RootReplaced {
+		t.Fatal("sink crash did not replace the root")
+	}
+	reinserts += len(crec.Reinserted)
+
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := counterVal(t, snap, MetricRootRebuilds); got != 2 {
+		t.Errorf("%s = %d, want 2", MetricRootRebuilds, got)
+	}
+	if got := counterVal(t, snap, MetricMoveIns); got != int64(reinserts) {
+		t.Errorf("%s = %d, want %d (rebuild move-ins must count)", MetricMoveIns, got, reinserts)
+	}
+	if got := counterVal(t, snap, MetricReinsertions); got != int64(reinserts) {
+		t.Errorf("%s = %d, want %d", MetricReinsertions, got, reinserts)
+	}
+}
+
+func TestCloneDropsInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(0, nil)
+	c.Instrument(reg)
+	if _, _, err := c.MoveIn(1, []graph.NodeID{0}); err != nil {
+		t.Fatal(err)
+	}
+	clone := c.Clone()
+	if _, _, err := clone.MoveIn(2, []graph.NodeID{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := counterVal(t, snap, MetricMoveIns); got != 1 {
+		t.Errorf("clone mutations leaked into registry: move_ins = %d, want 1", got)
+	}
+}

@@ -55,7 +55,11 @@ func (c *CNet) MoveOut(lev graph.NodeID) (MoveOutRecord, OpCost, error) {
 	var cost OpCost
 
 	if lev == c.tree.Root() {
-		return c.moveOutRoot(lev, rec)
+		rec, cost, err := c.moveOutRoot(lev, rec)
+		if err == nil {
+			c.countMoveOut(rec)
+		}
+		return rec, cost, err
 	}
 
 	// Detach subtree T and forget its nodes' statuses; keep their edges in
@@ -103,6 +107,7 @@ func (c *CNet) MoveOut(lev graph.NodeID) (MoveOutRecord, OpCost, error) {
 			return MoveOutRecord{}, OpCost{}, fmt.Errorf("cnet: stranded subtree nodes %v after removing %d", sortedKeys(pending), lev)
 		}
 	}
+	c.countMoveOut(rec)
 	return rec, cost, nil
 }
 
@@ -114,6 +119,7 @@ func (c *CNet) moveOutRoot(lev graph.NodeID, rec MoveOutRecord) (MoveOutRecord, 
 	c.g.RemoveNode(lev)
 
 	rebuilt := New(newRoot, c.policy)
+	rebuilt.instr = c.instr // rebuild move-ins count like any other
 	// Preserve G: copy all residual nodes/edges as they join.
 	order := c.g.BFS(newRoot).Order
 	var cost OpCost

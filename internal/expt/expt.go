@@ -21,8 +21,20 @@ import (
 	"dynsens/internal/broadcast"
 	"dynsens/internal/core"
 	"dynsens/internal/graph"
+	"dynsens/internal/obs"
 	"dynsens/internal/stats"
 	"dynsens/internal/workload"
+)
+
+// Metric names recorded by sweeps given Params.Obs.
+const (
+	// MetricExptPoints counts completed (size, seed) simulation points.
+	MetricExptPoints = "dynsens_expt_points_total"
+	// MetricExptErrors counts points that failed.
+	MetricExptErrors = "dynsens_expt_point_errors_total"
+	// MetricExptPointSeconds is the per-point wall-time histogram
+	// (requires Params.Now).
+	MetricExptPointSeconds = "dynsens_expt_point_seconds"
 )
 
 // Params control a sweep.
@@ -46,6 +58,15 @@ type Params struct {
 	// independent source; tests use it to substitute instrumented or
 	// shared streams. Must be safe for concurrent calls when Workers > 1.
 	NewRand func(seed int64) *rand.Rand
+	// Obs, when non-nil, collects sweep instrumentation: a counter of
+	// simulated points and (when Now is also set) a histogram of per-point
+	// wall time. Workers share the registry's atomic series, so parallel
+	// runs merge without extra coordination.
+	Obs *obs.Registry
+	// Now supplies wall-clock nanoseconds for the per-point duration
+	// histogram. It lives here (not a direct time.Now call) so the package
+	// stays deterministic by default; binaries wire time.Now().UnixNano.
+	Now func() int64
 }
 
 func (p Params) workers() int {
@@ -116,6 +137,18 @@ func forEachPoint(p Params, fn func(net *core.Network, n int, seed int64) (map[s
 		}
 	}
 
+	// Register instrumentation handles once, outside the workers; the
+	// handles themselves are atomic, so workers merge lock-free.
+	var pointsDone, pointErrs *obs.Counter
+	var pointSecs *obs.Histogram
+	if p.Obs != nil {
+		pointsDone = p.Obs.Counter(MetricExptPoints, "Completed (size, seed) simulation points.")
+		pointErrs = p.Obs.Counter(MetricExptErrors, "Simulation points that failed.")
+		if p.Now != nil {
+			pointSecs = p.Obs.Histogram(MetricExptPointSeconds, "Per-point wall time in seconds.", obs.ExpBuckets(0.001, 2, 16))
+		}
+	}
+
 	results := make([]map[string]float64, len(points))
 	errs := make([]error, len(points))
 	sem := make(chan struct{}, p.workers())
@@ -126,12 +159,28 @@ func forEachPoint(p Params, fn func(net *core.Network, n int, seed int64) (map[s
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			var start int64
+			if pointSecs != nil {
+				start = p.Now()
+			}
 			net, err := buildNet(p, pt.n, pt.seed)
 			if err != nil {
 				errs[i] = err
+			} else {
+				results[i], errs[i] = fn(net, pt.n, pt.seed)
+			}
+			if pointSecs != nil {
+				pointSecs.Observe(float64(p.Now()-start) / 1e9)
+			}
+			if errs[i] != nil {
+				if pointErrs != nil {
+					pointErrs.Inc()
+				}
 				return
 			}
-			results[i], errs[i] = fn(net, pt.n, pt.seed)
+			if pointsDone != nil {
+				pointsDone.Inc()
+			}
 		}(i, pt)
 	}
 	wg.Wait()

@@ -1,0 +1,74 @@
+package expt
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"dynsens/internal/obs"
+)
+
+// TestSweepInstrumentation runs a parallel sweep with a shared registry and
+// a fake monotone clock, checking that worker results merge into the point
+// counter and wall-time histogram without coordination (the -race run of
+// this test is the data-race acceptance check for Obs under Workers > 1).
+func TestSweepInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	var ticks atomic.Int64
+	p := quick()
+	p.Workers = 4
+	p.Obs = reg
+	p.Now = func() int64 { return ticks.Add(1_000_000) } // 1 ms per call
+
+	tb, err := Fig8(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+
+	wantPoints := int64(len(p.Sizes) * p.Seeds)
+	snap := reg.Snapshot()
+	if got, ok := snap.CounterValue(MetricExptPoints); !ok || got != wantPoints {
+		t.Errorf("%s = %d (ok=%v), want %d", MetricExptPoints, got, ok, wantPoints)
+	}
+	if got, _ := snap.CounterValue(MetricExptErrors); got != 0 {
+		t.Errorf("%s = %d, want 0", MetricExptErrors, got)
+	}
+	hp, ok := snap.HistogramPoint(MetricExptPointSeconds)
+	if !ok {
+		t.Fatalf("histogram %s not in snapshot", MetricExptPointSeconds)
+	}
+	if hp.Count != wantPoints {
+		t.Errorf("histogram count = %d, want %d", hp.Count, wantPoints)
+	}
+	// The fake clock advances 1 ms per call and each point calls it twice,
+	// so every observation is at least 0.001 s. Concurrent workers ticking
+	// the shared clock inside another point's window inflate that point's
+	// delta, but any single tick lands in at most Workers in-flight windows,
+	// so the sum stays below Workers * totalCalls * 1 ms.
+	lo := 0.001 * float64(wantPoints)
+	hi := 0.001 * float64(2*wantPoints) * float64(p.Workers)
+	if hp.Sum < lo || hp.Sum > hi {
+		t.Errorf("histogram sum = %v, want in [%v, %v]", hp.Sum, lo, hi)
+	}
+}
+
+// TestSweepWithoutClockSkipsHistogram checks the Now-less configuration
+// still counts points but registers no wall-time series.
+func TestSweepWithoutClockSkipsHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := quick()
+	p.Obs = reg
+
+	if _, err := Fig8(p); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if _, ok := snap.HistogramPoint(MetricExptPointSeconds); ok {
+		t.Errorf("wall-time histogram registered without a clock")
+	}
+	if got, ok := snap.CounterValue(MetricExptPoints); !ok || got == 0 {
+		t.Errorf("points counter = %d (ok=%v), want > 0", got, ok)
+	}
+}

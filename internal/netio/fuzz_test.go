@@ -1,0 +1,66 @@
+package netio
+
+import (
+	"bytes"
+	"testing"
+
+	"dynsens/internal/core"
+	"dynsens/internal/workload"
+)
+
+// FuzzNetioRead feeds arbitrary bytes to the JSON reader: it must never
+// panic, and whenever it accepts an input, re-serializing the parsed
+// network and reading that back must produce byte-identical output
+// (Write∘Read is a fixpoint on everything Read accepts). Seeds include a
+// real exported network so the corpus starts inside the format.
+func FuzzNetioRead(f *testing.F) {
+	d, err := workload.IncrementalConnected(workload.PaperConfig(1, 8, 30))
+	if err != nil {
+		f.Fatal(err)
+	}
+	net, err := core.Build(d.Graph(), core.Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	nw, err := Export(net, d)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var real bytes.Buffer
+	if err := nw.Write(&real); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(real.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"n":0,"side":0,"seed":0,"root":0,"nodes":null,"edges":null}`))
+	f.Add([]byte(`{"nodes":[{"id":1,"x":0.5,"y":1.5,"status":"head"}],"edges":[[1,2]]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"edges":[[0]]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n1, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: only panics are bugs
+		}
+		var out1 bytes.Buffer
+		if err := n1.Write(&out1); err != nil {
+			t.Fatalf("write of accepted input failed: %v", err)
+		}
+		n2, err := Read(bytes.NewReader(out1.Bytes()))
+		if err != nil {
+			t.Fatalf("reread of own output failed: %v\noutput:\n%s", err, out1.String())
+		}
+		var out2 bytes.Buffer
+		if err := n2.Write(&out2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+			t.Fatalf("write/read round-trip not byte-identical:\n--- first ---\n%s\n--- second ---\n%s",
+				out1.String(), out2.String())
+		}
+		// The graph reconstruction must not panic either; errors are fine
+		// (dangling edges are representable in JSON).
+		_, _ = n1.Graph()
+	})
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per metric name, then one
+// line per series, histograms expanded into cumulative _bucket/_sum/_count
+// lines. Output order is the snapshot's deterministic order.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	headered := make(map[string]bool)
+	header := func(name, help string, kind string) error {
+		if headered[name] {
+			return nil
+		}
+		headered[name] = true
+		if help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		return err
+	}
+	for _, c := range s.Counters {
+		if err := header(c.Name, c.Help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(c.Name, c.Labels, nil), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := header(g.Name, g.Help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(g.Name, g.Labels, nil), g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := header(h.Name, h.Help, "histogram"); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			le := Label{Key: "le", Value: formatFloat(b.UpperBound)}
+			if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(h.Name+"_bucket", h.Labels, &le), b.Count); err != nil {
+				return err
+			}
+		}
+		inf := Label{Key: "le", Value: "+Inf"}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(h.Name+"_bucket", h.Labels, &inf), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", promSeries(h.Name+"_sum", h.Labels, nil), formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(h.Name+"_count", h.Labels, nil), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON, in the snapshot's
+// deterministic order.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteTable renders the snapshot as an aligned human-readable table —
+// the view behind nettool's metrics subcommand. Histograms are summarized
+// as count/sum/mean.
+func (s Snapshot) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, "TYPE\tMETRIC\tVALUE"); err != nil {
+		return err
+	}
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(tw, "counter\t%s\t%d\n", promSeries(c.Name, c.Labels, nil), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(tw, "gauge\t%s\t%d\n", promSeries(g.Name, g.Labels, nil), g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		if _, err := fmt.Fprintf(tw, "histogram\t%s\tcount=%d sum=%s mean=%.2f\n",
+			promSeries(h.Name, h.Labels, nil), h.Count, formatFloat(h.Sum), mean); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// promSeries renders name{labels} with the optional extra label appended
+// (used for histogram le). Labels arrive sorted from the snapshot.
+func promSeries(name string, labels []Label, extra *Label) string {
+	ls := labels
+	if extra != nil {
+		ls = append(append([]Label(nil), labels...), *extra)
+		sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	}
+	if len(ls) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the shortest way that round-trips, matching
+// Prometheus conventions for le bounds and sums.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}

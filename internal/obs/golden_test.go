@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// compareGolden checks got against testdata/<name>, rewriting the file
+// under -update.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// goldenRegistry builds a registry covering every metric kind, label
+// escaping, multi-label ordering, and all three bucket situations (empty,
+// mid-range, +Inf overflow). Registration order is deliberately scrambled:
+// snapshots must sort it away.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("demo_runs_total", "Total runs.", L("protocol", "ICFF")).Add(42)
+	reg.Counter("demo_runs_total", "Total runs.", L("protocol", "DFO")).Add(7)
+	reg.Gauge("demo_height", "Tree height.").Set(-3)
+	// Labels given in non-sorted order; ids must still come out sorted.
+	reg.Counter("demo_events_total", "Events with tricky labels.",
+		L("zone", `a"b\c`), L("area", "line1\nline2")).Inc()
+	h := reg.Histogram("demo_latency_rounds", "Completion latency.", []float64{1, 2, 4, 8})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(100) // lands in +Inf
+	reg.Histogram("demo_empty_rounds", "Never observed.", LinearBuckets(0, 5, 3))
+	return reg
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "snapshot.prom.golden", buf.Bytes())
+}
+
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "snapshot.json.golden", buf.Bytes())
+}
+
+func TestTableGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "snapshot.table.golden", buf.Bytes())
+}
+
+// TestSnapshotDeterminism re-renders the same registry many times; every
+// byte must match (ordering comes from sorted series ids, not map order).
+func TestSnapshotDeterminism(t *testing.T) {
+	reg := goldenRegistry()
+	var first bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		var again bytes.Buffer
+		if err := reg.Snapshot().WritePrometheus(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, first.String(), again.String())
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package obs is the observability layer: a dependency-free metrics
+// registry (counters, gauges, fixed-bucket histograms) safe under the
+// experiment harness's worker-pool parallelism, with deterministic
+// snapshots, Prometheus-text and JSON exposition writers, and event
+// collectors that subscribe to the radio engine's trace stream.
+//
+// Design constraints, in order:
+//
+//   - hot-path updates are single atomic operations (no locks after a
+//     metric handle is obtained), so instrumenting the radio engine does
+//     not perturb what it measures;
+//   - Snapshot output is deterministically ordered (by metric name, then
+//     canonical label string), so exposition dumps are byte-stable and
+//     golden-testable;
+//   - the package imports only the stdlib plus internal/radio and
+//     internal/graph, and nothing in the protocol stack depends on it
+//     being enabled: every instrumentation point is gated on a nil check.
+//
+// See docs/observability.md for the metric catalog.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value dimension of a metric series.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing count. All methods are safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n, which must be non-negative (counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. All methods are safe for
+// concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Bucket semantics match
+// Prometheus: bucket i counts observations v <= bounds[i], with an
+// implicit +Inf overflow bucket. All methods are safe for concurrent use.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, exclusive of +Inf
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // smallest i with bounds[i] >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// ExpBuckets returns n exponential bucket bounds: start, start*factor,
+// start*factor^2, ... — the usual shape for latencies and awake counts.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	b := start
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bucket bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// metricKind discriminates the series types in the registry.
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	default:
+		return fmt.Sprintf("metricKind(%d)", int(k))
+	}
+}
+
+// series is one registered (name, labels) time series.
+type series struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []Label // sorted by key
+	id     string  // canonical "name{k=v,...}" identity
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds metric series. Registration methods are idempotent: asking
+// for an existing (name, labels) series of the same type returns the same
+// handle, which is how per-run instrumentation merges across the experiment
+// harness's workers. Registration takes a lock; the returned handles update
+// lock-free.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// canonical returns the sorted-label identity string for a series and the
+// sorted label copy. Names and label keys come from instrumentation code,
+// not input, so they are not validated beyond being non-empty.
+func canonical(name string, labels []Label) (string, []Label) {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String(), ls
+}
+
+// lookup returns the series for (name, labels), creating it with mk when
+// absent. A kind mismatch on an existing name is a programming bug in the
+// instrumentation, not an input condition.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label, mk func(s *series)) *series {
+	if name == "" {
+		//lint:ignore dynlint/panics an unnamed metric is an instrumentation-site bug; there is no caller that can meaningfully handle it
+		panic("obs: empty metric name")
+	}
+	id, ls := canonical(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[id]; ok {
+		if s.kind != kind {
+			//lint:ignore dynlint/panics re-registering a metric name as a different type is an instrumentation-site bug; failing loud beats silently splitting the series
+			panic(fmt.Sprintf("obs: metric %s already registered as %v, requested %v", id, s.kind, kind))
+		}
+		return s
+	}
+	s := &series{name: name, help: help, kind: kind, labels: ls, id: id}
+	mk(s)
+	r.series[id] = s
+	return s
+}
+
+// Counter returns the counter for (name, labels), registering it on first
+// use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, counterKind, labels, func(s *series) {
+		s.counter = &Counter{}
+	}).counter
+}
+
+// Gauge returns the gauge for (name, labels), registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, gaugeKind, labels, func(s *series) {
+		s.gauge = &Gauge{}
+	}).gauge
+}
+
+// Histogram returns the histogram for (name, labels), registering it on
+// first use with the given ascending bucket upper bounds (+Inf is implicit;
+// buckets of an already-registered histogram are kept).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return r.lookup(name, help, histogramKind, labels, func(s *series) {
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		s.hist = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	}).hist
+}
+
+// NumSeries returns the number of registered series.
+func (r *Registry) NumSeries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.series)
+}

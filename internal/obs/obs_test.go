@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	c.Add(-3) // negative adds are ignored: counters are monotone
+	if c.Value() != 5 {
+		t.Fatalf("counter after negative add = %d", c.Value())
+	}
+	g := reg.Gauge("g", "help")
+	g.Set(7)
+	g.Add(-10)
+	if g.Value() != -3 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "help", L("p", "A"))
+	b := reg.Counter("x_total", "other help ignored", L("p", "A"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct handles")
+	}
+	other := reg.Counter("x_total", "help", L("p", "B"))
+	if a == other {
+		t.Fatal("distinct labels shared a handle")
+	}
+	// Label order must not matter.
+	h1 := reg.Gauge("y", "help", L("a", "1"), L("b", "2"))
+	h2 := reg.Gauge("y", "help", L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatal("label order changed identity")
+	}
+	if reg.NumSeries() != 3 {
+		t.Fatalf("series = %d, want 3", reg.NumSeries())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("z", "help")
+}
+
+func TestEmptyNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty metric name did not panic")
+		}
+	}()
+	reg.Counter("", "help")
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "help", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 10, 11} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+	hp, ok := snap.HistogramPoint("h")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hp.Count != 5 {
+		t.Fatalf("count = %d", hp.Count)
+	}
+	if hp.Sum != 27.5 {
+		t.Fatalf("sum = %v", hp.Sum)
+	}
+	// Cumulative: le=1 -> 2 (0.5, 1), le=10 -> 4; +Inf is implicit (its
+	// cumulative count is Count, here 5, rendered only by the writers).
+	wantCum := []int64{2, 4}
+	if len(hp.Buckets) != 2 {
+		t.Fatalf("buckets = %+v", hp.Buckets)
+	}
+	for i, b := range hp.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d (le=%v) = %d, want %d", i, b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if math.IsInf(hp.Buckets[1].UpperBound, 1) {
+		t.Errorf("snapshot buckets must not include +Inf explicitly")
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v", exp)
+		}
+	}
+	lin := LinearBuckets(0, 5, 3)
+	want = []float64{0, 5, 10}
+	for i := range want {
+		if lin[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+}
+
+// TestConcurrentUse hammers one registry from many goroutines — both
+// registration (idempotent lookups) and the atomic hot paths — so the
+// -race run proves the engine-worker sharing contract.
+func TestConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("conc_total", "help", L("p", "X"))
+			g := reg.Gauge("conc_gauge", "help")
+			h := reg.Histogram("conc_hist", "help", ExpBuckets(1, 2, 8))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 300))
+				if i%100 == 0 {
+					_ = reg.Snapshot() // snapshots race against writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	if v, _ := snap.CounterValue("conc_total", L("p", "X")); v != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", v, workers*perWorker)
+	}
+	if v, _ := snap.GaugeValue("conc_gauge"); v != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", v, workers*perWorker)
+	}
+	hp, _ := snap.HistogramPoint("conc_hist")
+	if hp.Count != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", hp.Count, workers*perWorker)
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import "sort"
+
+// CounterPoint is one counter series in a snapshot.
+type CounterPoint struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help,omitempty"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
+}
+
+// GaugePoint is one gauge series in a snapshot.
+type GaugePoint struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help,omitempty"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
+}
+
+// BucketCount is one cumulative histogram bucket: the count of
+// observations <= UpperBound.
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// HistogramPoint is one histogram series in a snapshot. Buckets are
+// cumulative in Prometheus style and do not include the +Inf bucket, whose
+// cumulative count equals Count.
+type HistogramPoint struct {
+	Name    string        `json:"name"`
+	Help    string        `json:"help,omitempty"`
+	Labels  []Label       `json:"labels,omitempty"`
+	Buckets []BucketCount `json:"buckets"`
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of a registry, with every slice sorted
+// by (name, canonical labels) so two snapshots of equal state are
+// deep-equal and exposition output is byte-stable.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters"`
+	Gauges     []GaugePoint     `json:"gauges"`
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+// Snapshot captures the registry. It is safe to call concurrently with
+// updates; the result is only guaranteed self-consistent (and hence
+// deterministic for a fixed workload) once writers have quiesced.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+
+	var snap Snapshot
+	for _, s := range all {
+		switch s.kind {
+		case counterKind:
+			snap.Counters = append(snap.Counters, CounterPoint{
+				Name: s.name, Help: s.help, Labels: s.labels, Value: s.counter.Value(),
+			})
+		case gaugeKind:
+			snap.Gauges = append(snap.Gauges, GaugePoint{
+				Name: s.name, Help: s.help, Labels: s.labels, Value: s.gauge.Value(),
+			})
+		case histogramKind:
+			h := s.hist
+			pt := HistogramPoint{Name: s.name, Help: s.help, Labels: s.labels}
+			cum := int64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				pt.Buckets = append(pt.Buckets, BucketCount{UpperBound: b, Count: cum})
+			}
+			pt.Count = h.Count()
+			pt.Sum = h.Sum()
+			snap.Histograms = append(snap.Histograms, pt)
+		}
+	}
+	return snap
+}
+
+// CounterValue returns the snapshot value of the counter with the given
+// name and labels (ok=false when absent) — the lookup tests use to
+// reconcile exposition output against protocol metrics.
+func (s Snapshot) CounterValue(name string, labels ...Label) (int64, bool) {
+	id, _ := canonical(name, labels)
+	for _, c := range s.Counters {
+		if cid, _ := canonical(c.Name, c.Labels); cid == id {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// GaugeValue returns the snapshot value of the gauge with the given name
+// and labels (ok=false when absent).
+func (s Snapshot) GaugeValue(name string, labels ...Label) (int64, bool) {
+	id, _ := canonical(name, labels)
+	for _, g := range s.Gauges {
+		if gid, _ := canonical(g.Name, g.Labels); gid == id {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// HistogramPoint returns the snapshot of the histogram with the given name
+// and labels (ok=false when absent).
+func (s Snapshot) HistogramPoint(name string, labels ...Label) (HistogramPoint, bool) {
+	id, _ := canonical(name, labels)
+	for _, h := range s.Histograms {
+		if hid, _ := canonical(h.Name, h.Labels); hid == id {
+			return h, true
+		}
+	}
+	return HistogramPoint{}, false
+}

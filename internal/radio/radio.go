@@ -118,7 +118,30 @@ const (
 	EvNodeFail
 	// EvLinkFail: a link was cut.
 	EvLinkFail
+	// EvLoss: a frame a listener would have heard was dropped by the loss
+	// model (Node is the listener, Peer the transmitter).
+	EvLoss
 )
+
+// String returns the short label used by trace renderings and event sinks.
+func (k EventKind) String() string {
+	switch k {
+	case EvTransmit:
+		return "tx"
+	case EvDeliver:
+		return "rx"
+	case EvCollision:
+		return "collision"
+	case EvNodeFail:
+		return "node-fail"
+	case EvLinkFail:
+		return "link-fail"
+	case EvLoss:
+		return "loss"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
 
 // Event is a trace record.
 type Event struct {
@@ -150,6 +173,9 @@ type Result struct {
 	Collisions int
 	// Transmissions is the total number of transmit actions.
 	Transmissions int
+	// Losses is the number of (listener, transmitter, round) frames the
+	// loss model dropped before collision resolution.
+	Losses int
 }
 
 // MaxAwake returns the largest per-node awake count.
@@ -388,6 +414,8 @@ func (e *Engine) Run(maxRounds int) Result {
 					continue
 				}
 				if e.frameLost() {
+					res.Losses++
+					e.emit(Event{Round: round, Kind: EvLoss, Node: id, Peer: t.from, Channel: ch, Msg: t.msg})
 					continue
 				}
 				heard = append(heard, t)

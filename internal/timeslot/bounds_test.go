@@ -1,0 +1,130 @@
+package timeslot
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dynsens/internal/cnet"
+	"dynsens/internal/graph"
+	"dynsens/internal/workload"
+)
+
+// churnInstances is how many randomized (size, seed) deployments the Lemma
+// 2/3 property below is checked on.
+const churnInstances = 50
+
+// checkPerSlotBounds asserts every individual slot value — not just the
+// maxima — against its Lemma 2/3 bound: b-slots stay within d(d+1)/2+1 for
+// the induced backbone degree d, l- and u-slots within D(D+1)/2+1 for the
+// network degree D.
+func checkPerSlotBounds(a *Assignment) error {
+	boundB, boundL := a.BoundB(), a.BoundL()
+	for _, id := range a.Net().Tree().Nodes() {
+		if s, ok := a.Slot(B, id); ok && (s < 1 || s > boundB) {
+			return fmt.Errorf("b-slot %d of node %d outside [1, %d]", s, id, boundB)
+		}
+		if s, ok := a.Slot(L, id); ok && (s < 1 || s > boundL) {
+			return fmt.Errorf("l-slot %d of node %d outside [1, %d]", s, id, boundL)
+		}
+		if s, ok := a.Slot(U, id); ok && (s < 1 || s > boundL) {
+			return fmt.Errorf("u-slot %d of node %d outside [1, %d]", s, id, boundL)
+		}
+	}
+	return nil
+}
+
+// churn performs one randomized join or leave and keeps the slots updated
+// incrementally. Joins attach a fresh node to a random anchor plus a random
+// subset of its neighbors (so degrees keep growing); leaves remove a random
+// non-root node whose departure keeps the graph connected.
+func churn(t *testing.T, rng *rand.Rand, c *cnet.CNet, a *Assignment, next *graph.NodeID) {
+	t.Helper()
+	if rng.Intn(2) == 0 || c.Size() <= 2 {
+		nodes := c.Tree().Nodes()
+		anchor := nodes[rng.Intn(len(nodes))]
+		nbrs := []graph.NodeID{anchor}
+		for _, nb := range c.Graph().Neighbors(anchor) {
+			if rng.Intn(2) == 0 {
+				nbrs = append(nbrs, nb)
+			}
+		}
+		if _, _, err := c.MoveIn(*next, nbrs); err != nil {
+			t.Fatalf("join %d: %v", *next, err)
+		}
+		if err := a.OnJoin(*next); err != nil {
+			t.Fatalf("slots after join %d: %v", *next, err)
+		}
+		*next++
+		return
+	}
+	nodes := c.Tree().Nodes()
+	off := rng.Intn(len(nodes))
+	for k := 0; k < len(nodes); k++ {
+		cand := nodes[(off+k)%len(nodes)]
+		if cand == c.Root() {
+			continue
+		}
+		res := c.Graph().Clone()
+		res.RemoveNode(cand)
+		if !res.Connected() {
+			continue
+		}
+		rec, _, err := c.MoveOut(cand)
+		if err != nil {
+			t.Fatalf("leave %d: %v", cand, err)
+		}
+		if err := a.OnMoveOut(rec); err != nil {
+			t.Fatalf("slots after leave %d: %v", cand, err)
+		}
+		return
+	}
+}
+
+// TestSlotBoundsUnderChurn drives randomized join/leave churn over many
+// deployments and asserts the per-slot Lemma 2/3 bounds after every step,
+// then rebuilds the whole assignment from scratch (AssignAll) and verifies
+// the bounds and the Time-Slot Conditions again — the bulk recomputation
+// must land in the same envelope the incremental path maintained.
+func TestSlotBoundsUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x515))
+	for _, cond := range []Condition{ConditionStrict, ConditionPaper} {
+		for i := 0; i < churnInstances/2; i++ {
+			n := 20 + rng.Intn(60)
+			seed := int64(1 + rng.Intn(10_000))
+			name := fmt.Sprintf("cond=%d/n=%d/seed=%d", cond, n, seed)
+
+			d, err := workload.IncrementalConnected(workload.PaperConfig(seed, 8, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, _, err := cnet.BuildFromGraph(d.Graph(), 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := New(c, cond)
+			next := graph.NodeID(10_000)
+			for step := 0; step < 20; step++ {
+				churn(t, rng, c, a, &next)
+				if err := checkPerSlotBounds(a); err != nil {
+					t.Fatalf("%s step %d: %v", name, step, err)
+				}
+			}
+			if err := a.Verify(); err != nil {
+				t.Fatalf("%s after churn: %v", name, err)
+			}
+
+			// Rebuild from scratch over the churned structure.
+			a.AssignAll()
+			if err := checkPerSlotBounds(a); err != nil {
+				t.Fatalf("%s after rebuild: %v", name, err)
+			}
+			if err := a.Verify(); err != nil {
+				t.Fatalf("%s rebuild conditions: %v", name, err)
+			}
+			if err := a.CheckBounds(); err != nil {
+				t.Fatalf("%s rebuild maxima: %v", name, err)
+			}
+		}
+	}
+}

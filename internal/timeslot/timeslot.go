@@ -32,6 +32,7 @@ import (
 
 	"dynsens/internal/cnet"
 	"dynsens/internal/graph"
+	"dynsens/internal/obs"
 )
 
 // Condition selects which interference sets l-slots must satisfy.
@@ -563,6 +564,50 @@ func (a *Assignment) Verify() error {
 		}
 	}
 	return nil
+}
+
+// Metric names recorded by Record.
+const (
+	// MetricTimeslotMax is the gauge of the largest assigned slot per
+	// kind (labels kind="b"|"l"|"u").
+	MetricTimeslotMax = "dynsens_timeslot_max_slot"
+	// MetricTimeslotBound is the gauge of the Lemma 2/3 slot bound per
+	// kind: d(d+1)/2+1 for b-slots, D(D+1)/2+1 for l- and u-slots.
+	MetricTimeslotBound = "dynsens_timeslot_slot_bound"
+	// MetricTimeslotRounds is the accumulated Procedure-1 maintenance
+	// cost in protocol rounds.
+	MetricTimeslotRounds = "dynsens_timeslot_maintenance_rounds"
+	// MetricTimeslotRecalcs is the accumulated slot-recalculation count.
+	MetricTimeslotRecalcs = "dynsens_timeslot_recalcs"
+)
+
+// kindLabel is the metric label value for a slot kind.
+func kindLabel(k Kind) string {
+	switch k {
+	case B:
+		return "b"
+	case L:
+		return "l"
+	default:
+		return "u"
+	}
+}
+
+// Record exports the assignment's slot maxima against their Lemma 2/3
+// bounds, plus accumulated maintenance cost, as gauges in reg — the live
+// view of how close a deployment runs to the paper's worst case.
+func (a *Assignment) Record(reg *obs.Registry) {
+	for _, k := range []Kind{B, L, U} {
+		lbl := obs.L("kind", kindLabel(k))
+		reg.Gauge(MetricTimeslotMax, "Largest assigned time-slot.", lbl).Set(int64(a.Max(k)))
+		bound := a.BoundL()
+		if k == B {
+			bound = a.BoundB()
+		}
+		reg.Gauge(MetricTimeslotBound, "Lemma 2/3 slot bound for the kind.", lbl).Set(int64(bound))
+	}
+	reg.Gauge(MetricTimeslotRounds, "Accumulated Procedure-1 maintenance rounds.").Set(int64(a.Rounds()))
+	reg.Gauge(MetricTimeslotRecalcs, "Accumulated slot recalculations.").Set(int64(a.Recalcs()))
 }
 
 // BoundB returns Lemma 3's bound on b-time-slots, d(d+1)/2 + 1, where d is

@@ -12,23 +12,9 @@ import (
 	"dynsens/internal/radio"
 )
 
-// KindName returns a short label for an event kind.
-func KindName(k radio.EventKind) string {
-	switch k {
-	case radio.EvTransmit:
-		return "tx"
-	case radio.EvDeliver:
-		return "rx"
-	case radio.EvCollision:
-		return "collision"
-	case radio.EvNodeFail:
-		return "node-fail"
-	case radio.EvLinkFail:
-		return "link-fail"
-	default:
-		return fmt.Sprintf("kind(%d)", int(k))
-	}
-}
+// KindName returns a short label for an event kind. It is the same label
+// radio.EventKind.String produces; the alias predates that method.
+func KindName(k radio.EventKind) string { return k.String() }
 
 // Recorder collects events up to a limit (0 = unlimited).
 type Recorder struct {
@@ -134,6 +120,8 @@ func (r *Recorder) Render(w io.Writer) error {
 				line = fmt.Sprintf("  DEAD  node %-4d", ev.Node)
 			case radio.EvLinkFail:
 				line = fmt.Sprintf("  CUT   link %d-%d", ev.Node, ev.Peer)
+			case radio.EvLoss:
+				line = fmt.Sprintf("  LOST  node %-4d <- %-4d ch %d", ev.Node, ev.Peer, ev.Channel)
 			default:
 				line = fmt.Sprintf("  %s node %d", KindName(ev.Kind), ev.Node)
 			}

@@ -1,5 +1,6 @@
 #!/bin/sh
-# CI gate: formatting, vet, build, race-enabled tests, the dynlint static
+# CI gate: formatting, vet, build, race-enabled tests with a coverage floor
+# (scripts/coverage_baseline.txt), a short fuzz smoke, the dynlint static
 # analyzer (docs/static-analysis.md), and a single-iteration benchmark
 # smoke (docs/performance.md). Run from anywhere inside the repository; any
 # failure fails the build.
@@ -21,8 +22,22 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== go test -race"
-go test -race ./...
+echo "== go test -race (with coverage)"
+go test -race -covermode=atomic -coverprofile=coverage.out ./...
+
+echo "== coverage gate"
+total=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+baseline=$(cat scripts/coverage_baseline.txt)
+echo "total coverage ${total}% (baseline ${baseline}%)"
+awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t+0 >= b+0) }' || {
+    echo "coverage ${total}% fell below the recorded baseline ${baseline}%" >&2
+    exit 1
+}
+
+echo "== fuzz smoke"
+# A few seconds of the netio reader fuzzer: keeps the harness compiling and
+# catches shallow regressions; long fuzz runs stay manual.
+go test -run '^$' -fuzz '^FuzzNetioRead$' -fuzztime 5s ./internal/netio
 
 echo "== dynlint"
 go run ./cmd/dynlint ./...
