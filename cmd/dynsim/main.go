@@ -20,11 +20,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 
 	"dynsens/internal/broadcast"
+	"dynsens/internal/cnet"
 	"dynsens/internal/core"
+	"dynsens/internal/flight"
 	"dynsens/internal/gather"
 	"dynsens/internal/graph"
+	"dynsens/internal/netio"
 	"dynsens/internal/obs"
 	"dynsens/internal/radio"
 	"dynsens/internal/workload"
@@ -44,6 +48,8 @@ func main() {
 	flag.StringVar(&cfg.MetricsPath, "metrics", "", "write a metrics snapshot here at exit (- for stdout, .json for JSON, else Prometheus text)")
 	flag.StringVar(&cfg.EventsPath, "events", "", "write radio events as JSONL here")
 	flag.StringVar(&cfg.PprofAddr, "pprof", "", "serve net/http/pprof and /metrics on this address during the run")
+	flag.StringVar(&cfg.RecordPath, "record", "", "write a binary flight recording here (replay with: nettool replay)")
+	flag.IntVar(&cfg.RecordRing, "record-ring", 0, "bound the recording to the last N radio events (0 = keep all)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -71,6 +77,11 @@ type runConfig struct {
 	// PprofAddr, when non-empty, serves net/http/pprof plus a /metrics
 	// endpoint on that address for the duration of the run.
 	PprofAddr string
+	// RecordPath, when non-empty, receives a binary flight recording of
+	// the run (topology, churn deltas, every radio event, phase markers);
+	// RecordRing > 0 bounds it to the last N radio events.
+	RecordPath string
+	RecordRing int
 }
 
 // wantObs reports whether the scenario needs a metrics registry at all.
@@ -118,17 +129,57 @@ func writeMetrics(reg *obs.Registry, path string) error {
 	return f.Close()
 }
 
+// flightDelta converts a live cnet churn delta to its recorded form.
+func flightDelta(d cnet.Delta) flight.Delta {
+	kind := flight.DeltaMoveIn
+	switch d.Kind {
+	case cnet.DeltaMoveOut:
+		kind = flight.DeltaMoveOut
+	case cnet.DeltaCrash:
+		kind = flight.DeltaCrash
+	}
+	return flight.Delta{
+		Kind: kind, Node: d.Node, Peer: flight.NoParent,
+		Reinserted: d.Reinserted, Dropped: d.Dropped, RootChanged: d.RootChanged,
+	}
+}
+
 func run(cfg runConfig) error {
 	d, err := workload.IncrementalConnected(workload.PaperConfig(cfg.Seed, cfg.Side, cfg.N))
 	if err != nil {
 		return err
 	}
-	net, err := core.Build(d.Graph(), core.Config{})
+	var fw *flight.Writer
+	coreCfg := core.Config{}
+	if cfg.RecordPath != "" {
+		if cfg.Protocol == "gather" {
+			return fmt.Errorf("-record supports broadcast protocols, not gather")
+		}
+		rf, err := os.Create(cfg.RecordPath)
+		if err != nil {
+			return err
+		}
+		if cfg.RecordRing > 0 {
+			fw = flight.NewRingWriter(rf, cfg.RecordRing)
+		} else {
+			fw = flight.NewWriter(rf)
+		}
+		fw.WriteHeader(flight.Header{
+			Seed: cfg.Seed, N: cfg.N, Side: cfg.Side, Channels: cfg.Channels,
+			Source: graph.NodeID(cfg.Source), Protocol: strings.ToUpper(cfg.Protocol),
+			RingLimit: cfg.RecordRing,
+		})
+		coreCfg.DeltaHook = func(d cnet.Delta) { fw.WriteDelta(flightDelta(d)) }
+	}
+	net, err := core.Build(d.Graph(), coreCfg)
 	if err != nil {
 		return err
 	}
 	if err := net.Verify(); err != nil {
 		return err
+	}
+	if fw != nil {
+		netio.RecordTopology(fw, net)
 	}
 
 	var reg *obs.Registry
@@ -197,6 +248,14 @@ func run(cfg runConfig) error {
 		}
 		fmt.Printf("injected %d node failures\n", len(opts.Failures))
 	}
+	if fw != nil {
+		for _, f := range opts.Failures {
+			fw.WriteDelta(flight.Delta{
+				Kind: flight.DeltaNodeFail, Node: f.Node, Peer: flight.NoParent, Round: f.Round,
+			})
+		}
+		opts.Flight = fw
+	}
 
 	src := graph.NodeID(cfg.Source)
 	var m broadcast.Metrics
@@ -253,6 +312,16 @@ func run(cfg runConfig) error {
 	}
 	fmt.Println(m)
 	fmt.Printf("delivery ratio: %.3f\n", m.DeliveryRatio())
+	if fw != nil {
+		if err := fw.Close(); err != nil {
+			return fmt.Errorf("flight recording: %w", err)
+		}
+		if n := fw.Dropped(); n > 0 {
+			fmt.Printf("wrote flight recording to %s (ring mode, %d oldest events dropped)\n", cfg.RecordPath, n)
+		} else {
+			fmt.Printf("wrote flight recording to %s\n", cfg.RecordPath)
+		}
+	}
 	return finishMetrics(reg, cfg)
 }
 

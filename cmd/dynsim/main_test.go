@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -10,6 +11,7 @@ import (
 
 	"dynsens/internal/broadcast"
 	"dynsens/internal/core"
+	"dynsens/internal/flight"
 	"dynsens/internal/obs"
 	"dynsens/internal/workload"
 )
@@ -164,9 +166,89 @@ func TestMetricsReconcile(t *testing.T) {
 		t.Errorf("event sink has %d lines, want >= %d transmissions", lines, m.Transmissions)
 	}
 	for _, l := range strings.SplitN(string(ev), "\n", 2)[:1] {
-		if !strings.HasPrefix(l, `{"round":`) {
+		if !strings.HasPrefix(l, `{"eseq":`) {
 			t.Errorf("first event line not JSONL: %q", l)
 		}
+	}
+}
+
+// TestRecordIsDeterministic is the exact-replay acceptance check: two runs
+// of the same scenario must produce byte-identical flight recordings (same
+// per-round event sequence, same sequence numbers), and the recording must
+// decode and pass the offline verifier.
+func TestRecordIsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.dsfr"), filepath.Join(dir, "b.dsfr")
+
+	c := cfg("icff")
+	c.FailFrac, c.Seed = 0.2, 2
+	c.RecordPath = a
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	c.RecordPath = b
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	ba, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba, bb) {
+		t.Fatalf("recordings of identical runs differ (%d vs %d bytes)", len(ba), len(bb))
+	}
+
+	rec, err := flight.DecodeBytes(ba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) == 0 || len(rec.Nodes) != c.N || rec.Footer == nil {
+		t.Fatalf("recording incomplete: %d events, %d nodes, footer %v",
+			len(rec.Events), len(rec.Nodes), rec.Footer)
+	}
+	if rep := flight.Verify(rec); !rep.Passed() {
+		var sb strings.Builder
+		_ = rep.Write(&sb)
+		t.Fatalf("verifier failed on dynsim recording:\n%s", sb.String())
+	}
+}
+
+// TestRecordRing covers the bounded-ring flag and the protocols that reach
+// the recorder through different planners.
+func TestRecordRing(t *testing.T) {
+	for _, proto := range []string{"icff", "cff", "dfo", "multicast"} {
+		c := cfg(proto)
+		c.RecordPath = filepath.Join(t.TempDir(), "r.dsfr")
+		c.RecordRing = 10
+		if err := run(c); err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		raw, err := os.ReadFile(c.RecordPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := flight.DecodeBytes(raw)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if rec.Dropped() == 0 || len(rec.Events) != 10 {
+			t.Fatalf("%s: ring kept %d events with %d dropped", proto, len(rec.Events), rec.Dropped())
+		}
+		if rep := flight.Verify(rec); !rep.Passed() {
+			t.Fatalf("%s: verifier failed on ring recording", proto)
+		}
+	}
+}
+
+func TestRecordRejectsGather(t *testing.T) {
+	c := cfg("gather")
+	c.RecordPath = filepath.Join(t.TempDir(), "g.dsfr")
+	if err := run(c); err == nil {
+		t.Fatal("gather accepted a -record path")
 	}
 }
 

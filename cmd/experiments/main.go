@@ -6,6 +6,7 @@
 //	experiments [-fig all|8|9|10|11|bounds|channels|multicast|robust|reconfig|areas|ablation|slotcond]
 //	            [-side 10] [-sizes 100,200,300,400,500] [-seeds 5] [-baseseed 1]
 //	            [-quick] [-workers 0] [-metrics sweep.prom] [-pprof localhost:6060]
+//	            [-flight-dir recordings/]
 //
 // With -quick a small sweep runs in a few seconds; the default parameters
 // match the paper's published 10x10-unit curves. -metrics dumps sweep
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"dynsens/internal/expt"
+	"dynsens/internal/flight"
 	"dynsens/internal/obs"
 	"dynsens/internal/stats"
 )
@@ -41,6 +43,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent simulation points (0 = GOMAXPROCS)")
 		metrics  = flag.String("metrics", "", "write a metrics snapshot here at exit (- for stdout, .json for JSON, else Prometheus text)")
 		ppAddr   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address during the sweep")
+		flDir    = flag.String("flight-dir", "", "record each point's ICFF run as a flight recording in this directory (replay with: nettool replay)")
 	)
 	flag.Parse()
 
@@ -70,6 +73,21 @@ func main() {
 		reg = obs.NewRegistry()
 		p.Obs = reg
 		p.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	if *flDir != "" {
+		if err := os.MkdirAll(*flDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		dir := *flDir
+		p.Flight = func(n int, seed int64) *flight.Writer {
+			f, err := os.Create(fmt.Sprintf("%s/icff-n%d-s%d.dsfr", dir, n, seed))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: flight recording: %v\n", err)
+				return nil
+			}
+			return flight.NewWriter(f)
+		}
 	}
 	if *ppAddr != "" {
 		mux := http.NewServeMux()

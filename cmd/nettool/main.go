@@ -2,7 +2,11 @@
 // (deployment geometry, cluster structure, time-slots, group lists) for
 // external tooling, or as an ASCII map of the field for a quick look. The
 // "metrics" subcommand instead runs one instrumented broadcast and renders
-// the resulting metrics snapshot as a table.
+// the resulting metrics snapshot as a table; the "replay" subcommand loads
+// a flight recording made with dynsim -record, re-checks the paper's
+// invariants offline, and can export Chrome trace-event JSON, render the
+// timeline, walk one message's causal span tree, or explain why a node
+// never received.
 //
 // Examples:
 //
@@ -10,6 +14,9 @@
 //	nettool -n 200 -ascii
 //	nettool -n 150 -groups 3 -json - | jq '.nodes[0]'
 //	nettool metrics -n 200 -protocol icff
+//	nettool replay run.dsfr
+//	nettool replay run.dsfr -chrome-trace trace.json
+//	nettool replay run.dsfr -why-missed 17
 package main
 
 import (
@@ -28,6 +35,39 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		// Accept both "replay <file> -flags" and "replay -flags <file>".
+		fs := flag.NewFlagSet("nettool replay", flag.ExitOnError)
+		var (
+			chromePath = fs.String("chrome-trace", "", "export Chrome trace-event JSON to this path ('-' for stdout; load in Perfetto)")
+			timeline   = fs.Bool("timeline", false, "print the per-round event timeline")
+			span       = fs.Int("span", -1, "print the causal span tree of this message seq")
+			whyMissed  = fs.Int("why-missed", -1, "explain why this node never received the payload")
+		)
+		args := os.Args[2:]
+		var path string
+		if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+			path, args = args[0], args[1:]
+		}
+		// ExitOnError: Parse cannot return a non-nil error here.
+		_ = fs.Parse(args)
+		if path == "" && fs.NArg() > 0 {
+			path = fs.Arg(0)
+		}
+		if path == "" {
+			fmt.Fprintln(os.Stderr, "nettool: replay needs a recording file (made with dynsim -record)")
+			os.Exit(2)
+		}
+		ok, err := runReplay(os.Stdout, path, *chromePath, *timeline, *span, *whyMissed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "metrics" {
 		fs := flag.NewFlagSet("nettool metrics", flag.ExitOnError)
 		var (

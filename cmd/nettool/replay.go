@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dynsens/internal/flight"
+	"dynsens/internal/graph"
+	"dynsens/internal/trace"
+)
+
+// runReplay loads a flight recording, runs the offline verifier, and
+// serves the requested views. The bool result is the verifier verdict;
+// the caller turns a FAIL into exit code 1 so CI can assert on it.
+func runReplay(w io.Writer, path, chromePath string, timeline bool, span, whyMissed int) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	rec, err := flight.Decode(f)
+	if err != nil {
+		return false, fmt.Errorf("reading %s: %w", path, err)
+	}
+
+	h := rec.Header
+	drop := ""
+	if d := rec.Dropped(); d > 0 {
+		drop = fmt.Sprintf(" (%d dropped by ring)", d)
+	}
+	if _, err := fmt.Fprintf(w, "recording: %s n=%d side=%d seed=%d channels=%d source=%d\ncontents: %d nodes, %d edges, %d deltas, %d phases, %d events%s\n",
+		h.Protocol, h.N, h.Side, h.Seed, h.Channels, h.Source,
+		len(rec.Nodes), len(rec.Edges), len(rec.Deltas), len(rec.Phases), len(rec.Events), drop); err != nil {
+		return false, err
+	}
+
+	rep := flight.Verify(rec)
+	if err := rep.Write(w); err != nil {
+		return false, err
+	}
+
+	if chromePath != "" {
+		var buf bytes.Buffer
+		if err := flight.WriteChromeTrace(&buf, rec); err != nil {
+			return false, err
+		}
+		if !json.Valid(buf.Bytes()) {
+			return false, fmt.Errorf("internal error: generated Chrome trace is not valid JSON")
+		}
+		if chromePath == "-" {
+			if _, err := w.Write(buf.Bytes()); err != nil {
+				return false, err
+			}
+		} else {
+			if err := os.WriteFile(chromePath, buf.Bytes(), 0o644); err != nil {
+				return false, err
+			}
+			if _, err := fmt.Fprintf(w, "wrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", chromePath); err != nil {
+				return false, err
+			}
+		}
+	}
+	if timeline {
+		if err := trace.RenderEvents(w, rec.Events, rec.Dropped()); err != nil {
+			return false, err
+		}
+	}
+	if span >= 0 {
+		t := rec.Trace(span)
+		if t == nil {
+			return false, fmt.Errorf("no message with seq %d in the recording", span)
+		}
+		if err := t.WriteTree(w); err != nil {
+			return false, err
+		}
+	}
+	if whyMissed >= 0 {
+		m, err := rec.WhyMissed(graph.NodeID(whyMissed))
+		if err != nil {
+			return false, err
+		}
+		if _, err := fmt.Fprintln(w, m); err != nil {
+			return false, err
+		}
+	}
+	return rep.Passed(), nil
+}

@@ -3,6 +3,7 @@ package broadcast
 import (
 	"fmt"
 
+	"dynsens/internal/flight"
 	"dynsens/internal/graph"
 	"dynsens/internal/radio"
 	"dynsens/internal/timeslot"
@@ -66,7 +67,15 @@ func CFFPlan(a *timeslot.Assignment, source graph.NodeID, k int) (*Plan, error) 
 	}
 
 	aud := tr.Nodes()
-	return &Plan{Protocol: "CFF", ScheduleLen: pre + h*uW, Programs: progs, Audience: aud}, nil
+	sched := pre + h*uW
+	var phases []flight.Phase
+	if pre > 0 {
+		phases = append(phases, flight.Phase{Name: "preamble", Lo: 1, Hi: pre})
+	}
+	if sched > pre {
+		phases = append(phases, flight.Phase{Name: "cnet-flood", Lo: pre + 1, Hi: sched})
+	}
+	return &Plan{Protocol: "CFF", ScheduleLen: sched, Programs: progs, Audience: aud, Phases: phases}, nil
 }
 
 // RunCFF builds and runs Algorithm 1.

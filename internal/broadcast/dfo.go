@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynsens/internal/cnet"
+	"dynsens/internal/flight"
 	"dynsens/internal/graph"
 	"dynsens/internal/radio"
 )
@@ -136,11 +137,16 @@ func DFOPlan(net *cnet.CNet, source graph.NodeID) (*Plan, error) {
 		node(id).tourEnd = tourEnd
 	}
 
+	var phases []flight.Phase
+	if tourEnd >= 1 {
+		phases = append(phases, flight.Phase{Name: "token-tour", Lo: 1, Hi: tourEnd})
+	}
 	return &Plan{
 		Protocol:    "DFO",
 		ScheduleLen: tourEnd,
 		Programs:    progs,
 		Audience:    tr.Nodes(),
+		Phases:      phases,
 	}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynsens/internal/cnet"
+	"dynsens/internal/flight"
 	"dynsens/internal/graph"
 	"dynsens/internal/radio"
 	"dynsens/internal/timeslot"
@@ -178,7 +179,17 @@ func icffPlan(a *timeslot.Assignment, source graph.NodeID, sl slotting,
 			aud = append(aud, id)
 		}
 	}
-	return &Plan{Protocol: "ICFF", ScheduleLen: sched, Programs: progs, Audience: aud}, nil
+	var phases []flight.Phase
+	if pre > 0 {
+		phases = append(phases, flight.Phase{Name: "preamble", Lo: 1, Hi: pre})
+	}
+	if base > pre {
+		phases = append(phases, flight.Phase{Name: "backbone-flood", Lo: pre + 1, Hi: base})
+	}
+	if anyMember {
+		phases = append(phases, flight.Phase{Name: "leaf-delivery", Lo: base + 1, Hi: sched})
+	}
+	return &Plan{Protocol: "ICFF", ScheduleLen: sched, Programs: progs, Audience: aud, Phases: phases}, nil
 }
 
 // RunICFF builds and runs Algorithm 2 as a full broadcast.

@@ -3,6 +3,7 @@ package broadcast
 import (
 	"fmt"
 
+	"dynsens/internal/flight"
 	"dynsens/internal/graph"
 	"dynsens/internal/obs"
 	"dynsens/internal/radio"
@@ -45,6 +46,11 @@ type Options struct {
 	// run-level broadcast metrics (see docs/observability.md). Safe to
 	// share across concurrent runs.
 	Obs *obs.Registry
+	// Flight, when non-nil, records the run into a flight recording: all
+	// radio events, the plan's protocol phase markers, and a footer
+	// summarizing the outcome. The caller owns the writer (header,
+	// topology and Close); see internal/flight.
+	Flight *flight.Writer
 }
 
 func (o Options) channels() int {
@@ -146,6 +152,9 @@ type Plan struct {
 	// Audience lists the nodes expected to receive (or already hold) the
 	// payload.
 	Audience []graph.NodeID
+	// Phases marks the protocol's round ranges (preamble, backbone flood,
+	// leaf delivery, …) for flight recordings and trace viewers.
+	Phases []flight.Phase
 }
 
 // StampGroup sets the multicast group ID carried in every scheduled
@@ -184,7 +193,10 @@ func (p *Plan) Run(g *graph.Graph, opts Options) (Metrics, error) {
 	}
 	hook := opts.Trace
 	if col != nil {
-		hook = obs.ChainHooks(opts.Trace, col.Hook())
+		hook = obs.ChainHooks(hook, col.Hook())
+	}
+	if opts.Flight != nil {
+		hook = obs.ChainHooks(hook, opts.Flight.Hook())
 	}
 	if hook != nil {
 		eng.SetTrace(hook)
@@ -246,6 +258,22 @@ func (p *Plan) Run(g *graph.Graph, opts Options) (Metrics, error) {
 	if col != nil {
 		col.ObserveResult(res)
 		m.Record(opts.Obs)
+	}
+	if opts.Flight != nil {
+		for _, ph := range p.Phases {
+			opts.Flight.WritePhase(ph)
+		}
+		opts.Flight.SetFooter(flight.Footer{
+			ScheduleLen:     p.ScheduleLen,
+			Rounds:          res.Rounds,
+			Deliveries:      res.Deliveries,
+			Collisions:      res.Collisions,
+			Transmissions:   res.Transmissions,
+			Losses:          res.Losses,
+			Received:        m.Received,
+			Audience:        m.Audience,
+			CompletionRound: m.CompletionRound,
+		})
 	}
 	return m, nil
 }

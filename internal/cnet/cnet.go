@@ -100,11 +100,12 @@ func (c *OpCost) Add(o OpCost) {
 
 // CNet is the cluster-based structure over the evolving network graph G.
 type CNet struct {
-	g      *graph.Graph
-	tree   *graph.Tree
-	status map[graph.NodeID]Status
-	policy Policy
-	instr  *topoCounters // nil unless Instrument was called
+	g         *graph.Graph
+	tree      *graph.Tree
+	status    map[graph.NodeID]Status
+	policy    Policy
+	instr     *topoCounters // nil unless Instrument was called
+	deltaHook func(Delta)   // nil unless SetDeltaHook was called
 }
 
 // New creates a CNet containing only the root (a cluster head, Definition
@@ -236,7 +237,7 @@ func (c *CNet) MoveIn(id graph.NodeID, neighbors []graph.NodeID) (graph.NodeID, 
 		HeightUpdate: 2 * c.tree.Height(),
 		Moves:        1,
 	}
-	c.countMoveIn()
+	c.countMoveIn(id)
 	return parent, cost, nil
 }
 
@@ -246,6 +247,14 @@ func (c *CNet) MoveIn(id graph.NodeID, neighbors []graph.NodeID) (graph.NodeID, 
 // gossip-based construction yields the same structure class. The total
 // structural cost is returned.
 func BuildFromGraph(g *graph.Graph, root graph.NodeID, policy Policy) (*CNet, OpCost, error) {
+	return BuildFromGraphObserved(g, root, policy, nil)
+}
+
+// BuildFromGraphObserved is BuildFromGraph with a delta hook installed
+// before the first insertion, so the construction-time move-ins stream
+// through it too (the flight recorder uses this to capture the full
+// topology history). The hook stays installed on the returned CNet.
+func BuildFromGraphObserved(g *graph.Graph, root graph.NodeID, policy Policy, hook func(Delta)) (*CNet, OpCost, error) {
 	if !g.HasNode(root) {
 		return nil, OpCost{}, fmt.Errorf("cnet: root %d not in graph", root)
 	}
@@ -253,6 +262,7 @@ func BuildFromGraph(g *graph.Graph, root graph.NodeID, policy Policy) (*CNet, Op
 		return nil, OpCost{}, fmt.Errorf("cnet: graph is not connected")
 	}
 	c := New(root, policy)
+	c.deltaHook = hook
 	var total OpCost
 	order := g.BFS(root).Order
 	for _, id := range order[1:] {
@@ -312,7 +322,8 @@ func (c *CNet) InducedBackboneGraph() *graph.Graph {
 }
 
 // Clone returns a deep copy (sharing the policy function). Instrumentation
-// is not carried over: a clone counts nothing until its own Instrument call.
+// and delta hooks are not carried over: a clone counts nothing until its
+// own Instrument/SetDeltaHook call.
 func (c *CNet) Clone() *CNet {
 	st := make(map[graph.NodeID]Status, len(c.status))
 	for k, v := range c.status {

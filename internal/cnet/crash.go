@@ -160,6 +160,7 @@ func (c *CNet) crashRebuild(deadSet map[graph.NodeID]bool, rec CrashRecord) (Cra
 
 	rebuilt := New(newRoot, c.policy)
 	rebuilt.instr = c.instr // rebuild move-ins count like any other
+	rebuilt.deltaHook = c.deltaHook
 	var cost OpCost
 	for _, x := range residual.BFS(newRoot).Order[1:] {
 		var nbrs []graph.NodeID

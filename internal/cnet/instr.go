@@ -1,6 +1,9 @@
 package cnet
 
-import "dynsens/internal/obs"
+import (
+	"dynsens/internal/graph"
+	"dynsens/internal/obs"
+)
 
 // Metric names recorded by an instrumented CNet.
 const (
@@ -48,34 +51,84 @@ func (c *CNet) Instrument(reg *obs.Registry) {
 	}
 }
 
+// DeltaKind classifies observed topology mutations.
+type DeltaKind int
+
+const (
+	// DeltaMoveIn: a node joined via node-move-in (construction insertions
+	// and the re-insertions done by move-out/crash repair included).
+	DeltaMoveIn DeltaKind = iota
+	// DeltaMoveOut: a node departed gracefully.
+	DeltaMoveOut
+	// DeltaCrash: a non-graceful repair completed.
+	DeltaCrash
+)
+
+// Delta is one observed topology mutation, delivered to the hook installed
+// with SetDeltaHook. Where Instrument aggregates mutations into counters,
+// the delta hook streams them individually — the flight recorder's view of
+// churn.
+type Delta struct {
+	Kind DeltaKind
+	// Node is the joining node (move-in), the departed node (move-out), or
+	// the first crashed node (crash).
+	Node        graph.NodeID
+	Reinserted  []graph.NodeID
+	Dropped     []graph.NodeID
+	RootChanged bool
+}
+
+// SetDeltaHook streams every subsequent topology mutation to fn (nil
+// disables). The slices in a delivered Delta are shared with the records
+// they came from; hooks must not mutate them.
+func (c *CNet) SetDeltaHook(fn func(Delta)) { c.deltaHook = fn }
+
 // countMoveIn records one successful node-move-in.
-func (c *CNet) countMoveIn() {
+func (c *CNet) countMoveIn(id graph.NodeID) {
 	if c.instr != nil {
 		c.instr.moveIns.Inc()
+	}
+	if c.deltaHook != nil {
+		c.deltaHook(Delta{Kind: DeltaMoveIn, Node: id})
 	}
 }
 
 // countMoveOut records one successful node-move-out.
 func (c *CNet) countMoveOut(rec MoveOutRecord) {
-	if c.instr == nil {
-		return
+	if c.instr != nil {
+		c.instr.moveOuts.Inc()
+		c.instr.reinserts.Add(int64(len(rec.Reinserted)))
+		if rec.RootChanged {
+			c.instr.rootRebuilds.Inc()
+		}
 	}
-	c.instr.moveOuts.Inc()
-	c.instr.reinserts.Add(int64(len(rec.Reinserted)))
-	if rec.RootChanged {
-		c.instr.rootRebuilds.Inc()
+	if c.deltaHook != nil {
+		c.deltaHook(Delta{
+			Kind: DeltaMoveOut, Node: rec.Removed,
+			Reinserted: rec.Reinserted, RootChanged: rec.RootChanged,
+		})
 	}
 }
 
 // countCrash records one successful crash repair.
 func (c *CNet) countCrash(rec CrashRecord) {
-	if c.instr == nil {
-		return
+	if c.instr != nil {
+		c.instr.crashRepairs.Inc()
+		c.instr.reinserts.Add(int64(len(rec.Reinserted)))
+		c.instr.drops.Add(int64(len(rec.Dropped)))
+		if rec.RootReplaced {
+			c.instr.rootRebuilds.Inc()
+		}
 	}
-	c.instr.crashRepairs.Inc()
-	c.instr.reinserts.Add(int64(len(rec.Reinserted)))
-	c.instr.drops.Add(int64(len(rec.Dropped)))
-	if rec.RootReplaced {
-		c.instr.rootRebuilds.Inc()
+	if c.deltaHook != nil {
+		var first graph.NodeID
+		if len(rec.Dead) > 0 {
+			first = rec.Dead[0]
+		}
+		c.deltaHook(Delta{
+			Kind: DeltaCrash, Node: first,
+			Reinserted: rec.Reinserted, Dropped: rec.Dropped,
+			RootChanged: rec.RootReplaced,
+		})
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"dynsens/internal/graph"
 	"dynsens/internal/obs"
+	"dynsens/internal/workload"
 )
 
 // counterVal reads a plain (unlabeled) counter from a snapshot, failing the
@@ -181,5 +182,129 @@ func TestCloneDropsInstrumentation(t *testing.T) {
 	snap := reg.Snapshot()
 	if got := counterVal(t, snap, MetricMoveIns); got != 1 {
 		t.Errorf("clone mutations leaked into registry: move_ins = %d, want 1", got)
+	}
+}
+
+// TestDeltaHookStreamsChurn drives every mutation path with a delta hook
+// installed and checks the streamed deltas against the records, with the
+// structure re-verified after the churn.
+func TestDeltaHookStreamsChurn(t *testing.T) {
+	c := completeNet(t, 6)
+	var deltas []Delta
+	c.SetDeltaHook(func(d Delta) { deltas = append(deltas, d) })
+
+	if _, _, err := c.MoveIn(100, []graph.NodeID{c.Root()}); err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 || deltas[0].Kind != DeltaMoveIn || deltas[0].Node != 100 {
+		t.Fatalf("after move-in, deltas = %+v", deltas)
+	}
+
+	rec, _, err := c.MoveOut(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := deltas[len(deltas)-1]
+	if last.Kind != DeltaMoveOut || last.Node != 100 || len(last.Reinserted) != len(rec.Reinserted) {
+		t.Fatalf("after move-out, last delta = %+v (record %+v)", last, rec)
+	}
+
+	// Root move-out: the rebuilt structure must keep streaming (the hook is
+	// copied onto the rebuild), and every rebuild insertion is a move-in.
+	before := len(deltas)
+	orec, _, err := c.MoveOut(c.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orec.RootChanged {
+		t.Fatal("root move-out did not change the root")
+	}
+	moveIns := 0
+	var sawOut bool
+	for _, d := range deltas[before:] {
+		switch d.Kind {
+		case DeltaMoveIn:
+			moveIns++
+		case DeltaMoveOut:
+			sawOut = true
+			if !d.RootChanged {
+				t.Fatal("move-out delta does not flag the root change")
+			}
+		}
+	}
+	if !sawOut || moveIns != len(orec.Reinserted) {
+		t.Fatalf("root move-out streamed %d move-ins (want %d), move-out seen: %v",
+			moveIns, len(orec.Reinserted), sawOut)
+	}
+
+	// Crash repair: one summary delta carrying reinserted/dropped.
+	before = len(deltas)
+	crec, _, err := c.RemoveCrashed([]graph.NodeID{c.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crash *Delta
+	for i := range deltas[before:] {
+		if deltas[before+i].Kind == DeltaCrash {
+			crash = &deltas[before+i]
+		}
+	}
+	if crash == nil {
+		t.Fatalf("no crash delta streamed (deltas %+v)", deltas[before:])
+	}
+	if len(crash.Reinserted) != len(crec.Reinserted) || len(crash.Dropped) != len(crec.Dropped) ||
+		crash.RootChanged != crec.RootReplaced {
+		t.Fatalf("crash delta %+v does not match record %+v", crash, crec)
+	}
+
+	if err := c.Verify(); err != nil {
+		t.Fatalf("structure invalid after hooked churn: %v", err)
+	}
+
+	// Clones do not inherit the hook.
+	n := len(deltas)
+	clone := c.Clone()
+	if _, _, err := clone.MoveIn(200, []graph.NodeID{clone.Root()}); err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != n {
+		t.Fatalf("clone mutation leaked into the hook stream (%d -> %d)", n, len(deltas))
+	}
+}
+
+// TestBuildFromGraphObservedStreamsConstruction checks that the observed
+// build fires one move-in per non-root node and leaves the hook installed.
+func TestBuildFromGraphObservedStreamsConstruction(t *testing.T) {
+	d, err := workload.IncrementalConnected(workload.PaperConfig(3, 8, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltas []Delta
+	c, _, err := BuildFromGraphObserved(d.Graph(), 0, nil, func(d Delta) { deltas = append(deltas, d) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != c.Size()-1 {
+		t.Fatalf("construction streamed %d deltas, want %d", len(deltas), c.Size()-1)
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, dl := range deltas {
+		if dl.Kind != DeltaMoveIn {
+			t.Fatalf("construction delta of kind %v", dl.Kind)
+		}
+		seen[dl.Node] = true
+	}
+	if len(seen) != len(deltas) {
+		t.Fatal("duplicate move-in deltas")
+	}
+	n := len(deltas)
+	if _, _, err := c.MoveIn(500, []graph.NodeID{c.Root()}); err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != n+1 {
+		t.Fatal("hook not retained after observed build")
 	}
 }

@@ -120,6 +120,7 @@ func (c *CNet) moveOutRoot(lev graph.NodeID, rec MoveOutRecord) (MoveOutRecord, 
 
 	rebuilt := New(newRoot, c.policy)
 	rebuilt.instr = c.instr // rebuild move-ins count like any other
+	rebuilt.deltaHook = c.deltaHook
 	// Preserve G: copy all residual nodes/edges as they join.
 	order := c.g.BFS(newRoot).Order
 	var cost OpCost

@@ -38,6 +38,11 @@ type Config struct {
 	// SlotCondition selects the l-slot interference model (default
 	// strict; see DESIGN.md §5).
 	SlotCondition timeslot.Condition
+	// DeltaHook, when set, receives every topology mutation — including
+	// the construction-time move-ins performed by Build — and stays
+	// installed for later Join/Leave/RepairCrash calls. The flight
+	// recorder uses this to capture churn history.
+	DeltaHook func(cnet.Delta)
 }
 
 // Network is a dynamic cluster-based sensor network.
@@ -54,6 +59,7 @@ type Network struct {
 // New creates a network containing only the sink.
 func New(cfg Config) *Network {
 	c := cnet.New(cfg.Root, cfg.Policy)
+	c.SetDeltaHook(cfg.DeltaHook)
 	return &Network{
 		net:    c,
 		slots:  timeslot.New(c, cfg.SlotCondition),
@@ -64,7 +70,7 @@ func New(cfg Config) *Network {
 // Build constructs a network over an existing connected graph g by
 // inserting every node via node-move-in in BFS order from the root.
 func Build(g *graph.Graph, cfg Config) (*Network, error) {
-	c, cost, err := cnet.BuildFromGraph(g, cfg.Root, cfg.Policy)
+	c, cost, err := cnet.BuildFromGraphObserved(g, cfg.Root, cfg.Policy, cfg.DeltaHook)
 	if err != nil {
 		return nil, err
 	}

@@ -20,7 +20,9 @@ import (
 
 	"dynsens/internal/broadcast"
 	"dynsens/internal/core"
+	"dynsens/internal/flight"
 	"dynsens/internal/graph"
+	"dynsens/internal/netio"
 	"dynsens/internal/obs"
 	"dynsens/internal/stats"
 	"dynsens/internal/workload"
@@ -67,6 +69,11 @@ type Params struct {
 	// histogram. It lives here (not a direct time.Now call) so the package
 	// stays deterministic by default; binaries wire time.Now().UnixNano.
 	Now func() int64
+	// Flight, when non-nil, is asked for a flight writer before each
+	// point's ICFF run (return nil to skip a point). The sweep writes the
+	// header and topology, records the run, and closes the writer. Must be
+	// safe for concurrent calls when Workers > 1.
+	Flight func(n int, seed int64) *flight.Writer
 }
 
 func (p Params) workers() int {
@@ -221,9 +228,28 @@ func safeLeaveCandidate(net *core.Network) (graph.NodeID, bool) {
 }
 
 // runBoth executes ICFF and DFO broadcasts from the root with the given
-// options and returns both metrics.
-func runBoth(net *core.Network, opts broadcast.Options) (icff, dfo broadcast.Metrics, err error) {
-	icff, err = net.Broadcast(net.Root(), opts)
+// options and returns both metrics. When the sweep has a Flight factory,
+// the ICFF run of the point is captured as a flight recording.
+func runBoth(p Params, net *core.Network, n int, seed int64, opts broadcast.Options) (icff, dfo broadcast.Metrics, err error) {
+	icffOpts := opts
+	var fw *flight.Writer
+	if p.Flight != nil {
+		if fw = p.Flight(n, seed); fw != nil {
+			fw.WriteHeader(flight.Header{
+				Seed: seed, N: n, Side: p.Side, Channels: opts.Channels,
+				Source: net.Root(), Protocol: "ICFF",
+				LossRate: opts.LossRate, LossSeed: opts.LossSeed,
+			})
+			netio.RecordTopology(fw, net)
+			icffOpts.Flight = fw
+		}
+	}
+	icff, err = net.Broadcast(net.Root(), icffOpts)
+	if fw != nil {
+		if cerr := fw.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return
 	}

@@ -388,11 +388,12 @@ func TestPaperScaleRange(t *testing.T) {
 		t.Skip("paper-scale run")
 	}
 	for _, tc := range []struct{ side, n int }{{8, 64}, {12, 720}} {
-		net, err := buildNet(Params{Side: tc.side, Seeds: 1, BaseSeed: 9}, tc.n, 9)
+		p := Params{Side: tc.side, Seeds: 1, BaseSeed: 9}
+		net, err := buildNet(p, tc.n, 9)
 		if err != nil {
 			t.Fatalf("side=%d n=%d: %v", tc.side, tc.n, err)
 		}
-		icff, dfo, err := runBoth(net, broadcast.Options{})
+		icff, dfo, err := runBoth(p, net, tc.n, 9, broadcast.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

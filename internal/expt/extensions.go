@@ -218,7 +218,7 @@ func Areas(p Params, sides []int) (*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			ic, df, err := runBoth(net, broadcast.Options{})
+			ic, df, err := runBoth(q, net, n, seed, broadcast.Options{})
 			if err != nil {
 				return nil, err
 			}

@@ -14,7 +14,7 @@ import (
 // rounds at 500 nodes while CFF stays far below.
 func Fig8(p Params) (*stats.Table, error) {
 	data, err := forEachPoint(p, func(net *core.Network, n int, seed int64) (map[string]float64, error) {
-		icff, dfo, err := runBoth(net, broadcast.Options{})
+		icff, dfo, err := runBoth(p, net, n, seed, broadcast.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -48,7 +48,7 @@ func Fig8(p Params) (*stats.Table, error) {
 // CFF the maximum over nodes is bounded by 2*delta + Delta.
 func Fig9(p Params) (*stats.Table, error) {
 	data, err := forEachPoint(p, func(net *core.Network, n int, seed int64) (map[string]float64, error) {
-		icff, dfo, err := runBoth(net, broadcast.Options{})
+		icff, dfo, err := runBoth(p, net, n, seed, broadcast.Options{})
 		if err != nil {
 			return nil, err
 		}

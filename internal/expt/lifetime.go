@@ -27,7 +27,7 @@ func Lifetime(p Params, budget float64) (*stats.Table, error) {
 	}
 	model := energy.DefaultModel()
 	data, err := forEachPoint(p, func(net *core.Network, n int, seed int64) (map[string]float64, error) {
-		icff, dfo, err := runBoth(net, broadcast.Options{})
+		icff, dfo, err := runBoth(p, net, n, seed, broadcast.Options{})
 		if err != nil {
 			return nil, err
 		}

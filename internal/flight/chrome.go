@@ -1,0 +1,106 @@
+package flight
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"dynsens/internal/radio"
+)
+
+// usPerRound scales rounds to trace-event microseconds: one round renders
+// as a 1 ms slice, wide enough to read in the Perfetto UI.
+const usPerRound = 1000
+
+// WriteChromeTrace exports the recording as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing): one track per node (named
+// with its cluster role), a phases track on tid 0 carrying the protocol
+// phase markers as slices, tx/rx/collision/loss events as 1-round slices
+// on their node's track, and failures as instant events. Output is
+// deterministic: metadata sorted by node ID, then phases, then events in
+// stream order.
+func WriteChromeTrace(w io.Writer, rec *Recording) error {
+	bw := bufio.NewWriter(w)
+	first := true
+	// bufio latches the first write error; the final Flush reports it, so
+	// per-write errors are deliberately discarded here.
+	emit := func(format string, args ...any) {
+		if first {
+			_, _ = bw.WriteString("[\n")
+			first = false
+		} else {
+			_, _ = bw.WriteString(",\n")
+		}
+		_, _ = fmt.Fprintf(bw, format, args...)
+	}
+	ts := func(round int) int { return (round - 1) * usPerRound }
+
+	emit(`{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"dynsens %s n=%d seed=%d"}}`,
+		jsonEscape(rec.Header.Protocol), rec.Header.N, rec.Header.Seed)
+	emit(`{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"phases"}}`)
+
+	nodes := make([]NodeInfo, len(rec.Nodes))
+	copy(nodes, rec.Nodes)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		emit(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"node %d (%s) depth=%d"}}`,
+			int64(n.ID)+1, n.ID, RoleName(n.Role), n.Depth)
+	}
+
+	for _, p := range rec.Phases {
+		emit(`{"name":"%s","ph":"X","pid":0,"tid":0,"ts":%d,"dur":%d,"cat":"phase"}`,
+			jsonEscape(p.Name), ts(p.Lo), (p.Hi-p.Lo+1)*usPerRound)
+	}
+
+	for _, ev := range rec.Events {
+		t := int64(ev.Node) + 1
+		switch ev.Kind {
+		case radio.EvTransmit:
+			emit(`{"name":"tx","ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"cat":"radio","args":{"seq":%d,"round":%d,"ch":%d,"slot":%d,"depth":%d,"msg":%d}}`,
+				t, ts(ev.Round), usPerRound, ev.Seq, ev.Round, ev.Channel, ev.Msg.Slot, ev.Msg.Depth, ev.Msg.Seq)
+		case radio.EvDeliver:
+			emit(`{"name":"rx<-%d","ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"cat":"radio","args":{"seq":%d,"round":%d,"ch":%d,"from":%d,"msg":%d}}`,
+				ev.Peer, t, ts(ev.Round), usPerRound, ev.Seq, ev.Round, ev.Channel, ev.Peer, ev.Msg.Seq)
+		case radio.EvCollision:
+			emit(`{"name":"collision","ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"cat":"radio","args":{"seq":%d,"round":%d,"ch":%d}}`,
+				t, ts(ev.Round), usPerRound, ev.Seq, ev.Round, ev.Channel)
+		case radio.EvLoss:
+			emit(`{"name":"loss<-%d","ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"cat":"radio","args":{"seq":%d,"round":%d,"ch":%d,"from":%d}}`,
+				ev.Peer, t, ts(ev.Round), usPerRound, ev.Seq, ev.Round, ev.Channel, ev.Peer)
+		case radio.EvNodeFail:
+			emit(`{"name":"node-fail","ph":"i","pid":0,"tid":%d,"ts":%d,"s":"t","cat":"failure","args":{"seq":%d,"round":%d}}`,
+				t, ts(ev.Round), ev.Seq, ev.Round)
+		case radio.EvLinkFail:
+			emit(`{"name":"link-fail %d-%d","ph":"i","pid":0,"tid":%d,"ts":%d,"s":"t","cat":"failure","args":{"seq":%d,"round":%d,"peer":%d}}`,
+				ev.Node, ev.Peer, t, ts(ev.Round), ev.Seq, ev.Round, ev.Peer)
+		default:
+			emit(`{"name":"%s","ph":"i","pid":0,"tid":%d,"ts":%d,"s":"t","args":{"seq":%d,"round":%d}}`,
+				jsonEscape(ev.Kind.String()), t, ts(ev.Round), ev.Seq, ev.Round)
+		}
+	}
+	if first {
+		_, _ = bw.WriteString("[\n")
+	}
+	_, _ = bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+// jsonEscape escapes the characters that could break a JSON string; the
+// inputs are protocol and phase names, so backslashes, quotes and control
+// characters are the only hazards.
+func jsonEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			out = append(out, '\\', c)
+		case c < 0x20:
+			out = append(out, fmt.Sprintf("\\u%04x", c)...)
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,213 @@
+// Package flight is the causal half of the observability layer: where
+// internal/obs aggregates (counters, histograms), flight records — every
+// radio event of a deterministic run, the topology it ran on, the churn
+// deltas that shaped it, and the protocol phase markers, in a compact
+// length-prefixed binary log (the "flight recording"). A recording is
+// enough to answer the questions aggregates cannot: follow one broadcast
+// message hop by hop through BT(G) (causal spans), localize the first
+// broken hop on the path to a node that never received (WhyMissed), and
+// re-check the paper's invariants offline (Verify) — all without
+// re-running the simulation.
+//
+// The file format is a stream of typed, length-prefixed records after a
+// 4-byte magic: header, node, edge, delta, phase, event, footer. Integers
+// are varints, strings are length-prefixed. Writers buffer records and
+// emit them in canonical section order on Close, so a decoded recording
+// re-encodes byte-identically; a bounded ring mode keeps only the last N
+// radio events for long soak runs (the footer then reports the drop
+// count). See docs/observability.md ("Tracing & flight recording").
+package flight
+
+import (
+	"dynsens/internal/graph"
+	"dynsens/internal/radio"
+)
+
+// Version is the current recording format version.
+const Version = 1
+
+// Role bytes used in NodeInfo.Role; they mirror cnet.Status without
+// importing it, so the package stays loadable by external tooling.
+const (
+	RoleHead    = 'h'
+	RoleGateway = 'g'
+	RoleMember  = 'm'
+)
+
+// NoParent marks a root node in NodeInfo.Parent and an absent peer in
+// records that carry one.
+const NoParent graph.NodeID = -1
+
+// Header opens every recording: the knobs that make the run reproducible
+// and the facts the offline verifier keys its protocol checks off.
+type Header struct {
+	Version  int
+	Seed     int64 // deployment seed
+	N        int   // node count at deployment time
+	Side     int   // region side in 100 m units
+	Channels int   // radio channels k
+	Source   graph.NodeID
+	Protocol string // plan protocol name ("ICFF", "CFF", "DFO", ...)
+	LossRate float64
+	LossSeed int64
+	// RingLimit is the event ring capacity the recording was made with
+	// (0 = unbounded).
+	RingLimit int
+}
+
+// NodeInfo is the recorded structural state of one node: cluster role,
+// tree parent, depth, and its three time-slots (0 = none). Together with
+// Edges this is enough to re-check Definition 1/2 and Lemma 2/3 offline.
+type NodeInfo struct {
+	ID     graph.NodeID
+	Role   byte // RoleHead, RoleGateway or RoleMember
+	Parent graph.NodeID
+	Depth  int
+	BSlot  int
+	LSlot  int
+	USlot  int
+}
+
+// Edge is one undirected G-edge.
+type Edge struct {
+	U, V graph.NodeID
+}
+
+// DeltaKind classifies topology/churn deltas.
+type DeltaKind byte
+
+const (
+	// DeltaMoveIn: a node joined (node-move-in), including construction
+	// insertions and the re-insertions done by move-out/crash repair.
+	DeltaMoveIn DeltaKind = iota
+	// DeltaMoveOut: a node departed gracefully.
+	DeltaMoveOut
+	// DeltaCrash: a non-graceful repair after node crashes.
+	DeltaCrash
+	// DeltaNodeFail: a node death injected into the radio engine.
+	DeltaNodeFail
+	// DeltaLinkFail: a link cut injected into the radio engine.
+	DeltaLinkFail
+)
+
+// String names the delta kind.
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaMoveIn:
+		return "move-in"
+	case DeltaMoveOut:
+		return "move-out"
+	case DeltaCrash:
+		return "crash"
+	case DeltaNodeFail:
+		return "node-fail"
+	case DeltaLinkFail:
+		return "link-fail"
+	default:
+		return "delta(?)"
+	}
+}
+
+// Delta is one recorded topology/churn event.
+type Delta struct {
+	Kind DeltaKind
+	Node graph.NodeID
+	Peer graph.NodeID // DeltaLinkFail: other endpoint; else NoParent
+	// Round is the scheduled engine round for injected failures; 0 for
+	// structural operations that happen between runs.
+	Round       int
+	Reinserted  []graph.NodeID
+	Dropped     []graph.NodeID
+	RootChanged bool
+}
+
+// Phase marks a protocol phase over an inclusive round range.
+type Phase struct {
+	Name   string
+	Lo, Hi int
+}
+
+// Footer closes a recording with the run's measured outcome, so the
+// verifier can cross-check the event stream against what the engine
+// reported.
+type Footer struct {
+	ScheduleLen     int
+	Rounds          int
+	Deliveries      int
+	Collisions      int
+	Transmissions   int
+	Losses          int
+	Received        int
+	Audience        int
+	CompletionRound int
+	// DroppedEvents is how many radio events the ring evicted (0 for
+	// unbounded recordings).
+	DroppedEvents int
+}
+
+// Recording is a fully decoded flight recording.
+type Recording struct {
+	Header Header
+	Nodes  []NodeInfo
+	Edges  []Edge
+	Deltas []Delta
+	Phases []Phase
+	Events []radio.Event
+	// Footer is nil when the recording was truncated before Close.
+	Footer *Footer
+}
+
+// Dropped returns the number of ring-evicted events (0 without a footer).
+func (r *Recording) Dropped() int {
+	if r.Footer == nil {
+		return 0
+	}
+	return r.Footer.DroppedEvents
+}
+
+// Role returns the recorded role byte of id (0 when unknown).
+func (r *Recording) Role(id graph.NodeID) byte {
+	for i := range r.Nodes {
+		if r.Nodes[i].ID == id {
+			return r.Nodes[i].Role
+		}
+	}
+	return 0
+}
+
+// RoleName spells a role byte out.
+func RoleName(role byte) string {
+	switch role {
+	case RoleHead:
+		return "head"
+	case RoleGateway:
+		return "gateway"
+	case RoleMember:
+		return "member"
+	default:
+		return "unknown"
+	}
+}
+
+// parents returns the recorded tree as a parent map.
+func (r *Recording) parents() map[graph.NodeID]graph.NodeID {
+	out := make(map[graph.NodeID]graph.NodeID, len(r.Nodes))
+	for i := range r.Nodes {
+		out[r.Nodes[i].ID] = r.Nodes[i].Parent
+	}
+	return out
+}
+
+// Graph rebuilds the connectivity graph from the recorded nodes and edges.
+func (r *Recording) Graph() (*graph.Graph, error) {
+	g := graph.New()
+	for i := range r.Nodes {
+		g.AddNode(r.Nodes[i].ID)
+	}
+	for _, e := range r.Edges {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

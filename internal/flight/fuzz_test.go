@@ -1,0 +1,49 @@
+package flight_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dynsens/internal/broadcast"
+	"dynsens/internal/flight"
+)
+
+// FuzzRecordingDecode feeds arbitrary bytes to the strict decoder. Two
+// properties must hold: decoding never panics, and any input the decoder
+// accepts re-encodes to a canonical form on which Encode∘Decode is a byte
+// fixpoint (so recordings survive arbitrary round-trips unchanged).
+func FuzzRecordingDecode(f *testing.F) {
+	raw, _ := recordRun(f, 20, 8, 3, broadcast.Options{Channels: 1}, 0)
+	f.Add(raw)
+	ringRaw, _ := recordRun(f, 20, 8, 3, broadcast.Options{Channels: 1}, 8)
+	f.Add(ringRaw)
+	f.Add([]byte(nil))
+	f.Add([]byte("DSFR"))
+	flip := append([]byte(nil), raw...)
+	flip[len(flip)/2] ^= 0xff
+	f.Add(flip)
+	f.Add(raw[:len(raw)/2])
+	f.Add(append(append([]byte(nil), raw...), 6, 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := flight.DecodeBytes(data)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		var a bytes.Buffer
+		if err := rec.Encode(&a); err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		rec2, err := flight.DecodeBytes(a.Bytes())
+		if err != nil {
+			t.Fatalf("canonical re-encode does not decode: %v", err)
+		}
+		var b bytes.Buffer
+		if err := rec2.Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatal("Encode∘Decode is not a byte fixpoint")
+		}
+	})
+}

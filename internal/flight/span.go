@@ -1,0 +1,412 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dynsens/internal/graph"
+	"dynsens/internal/radio"
+)
+
+// SpanKind distinguishes the two causal span types.
+type SpanKind int
+
+const (
+	// SpanTx: the node put the payload on the air.
+	SpanTx SpanKind = iota
+	// SpanRx: the node received the payload from Parent's transmitter.
+	SpanRx
+)
+
+// String names the span kind.
+func (k SpanKind) String() string {
+	if k == SpanTx {
+		return "tx"
+	}
+	return "rx"
+}
+
+// Span is one hop-half of a message's journey: a transmission or a
+// reception, linked to its cause. A reception's parent is the transmission
+// it heard; a transmission's parent is the reception that handed the node
+// the payload (nil for nodes that started holding it). Walking Parent
+// pointers from any span reaches the payload's origin; Children fan out
+// towards the leaves, so the span set of one message forms a DAG rooted at
+// the source's first transmission.
+type Span struct {
+	Kind    SpanKind
+	Node    graph.NodeID
+	Round   int
+	Channel radio.Channel
+	// Role and Depth are the node's recorded structural tags (Role 0 /
+	// Depth -1 when the node is not in the recorded topology).
+	Role  byte
+	Depth int
+	// Slot is the transmitter's time-slot as carried in the message
+	// (b-slot during backbone flooding, l-slot in the leaf window,
+	// u-slot under plain CFF; 0 in preamble and token hops).
+	Slot int
+	Seq  uint64 // engine sequence number of the underlying event
+
+	Parent   *Span
+	Children []*Span
+}
+
+// MsgTrace is the full causal trace of one payload, keyed by the
+// (Msg.Seq, Msg.Src) pair every copy of the payload carries.
+type MsgTrace struct {
+	Seq int
+	Src graph.NodeID
+	// Spans in event order; Roots are the spans with no cause (the
+	// initial-holder transmissions).
+	Spans []*Span
+	Roots []*Span
+
+	firstRx map[graph.NodeID]*Span
+	lastTx  map[graph.NodeID]*Span
+}
+
+// Holders returns every node that held the payload during the trace:
+// initial transmitters plus every receiver.
+func (t *MsgTrace) Holders() map[graph.NodeID]bool {
+	out := make(map[graph.NodeID]bool)
+	for _, s := range t.Spans {
+		out[s.Node] = true
+	}
+	return out
+}
+
+// DeliveredRound returns the round of id's first reception.
+func (t *MsgTrace) DeliveredRound(id graph.NodeID) (int, bool) {
+	s, ok := t.firstRx[id]
+	if !ok {
+		return 0, false
+	}
+	return s.Round, true
+}
+
+// PathTo returns the causal chain source → id: the parent walk from id's
+// first reception, reversed. nil when id never received.
+func (t *MsgTrace) PathTo(id graph.NodeID) []*Span {
+	s, ok := t.firstRx[id]
+	if !ok {
+		return nil
+	}
+	var rev []*Span
+	for ; s != nil; s = s.Parent {
+		rev = append(rev, s)
+	}
+	out := make([]*Span, len(rev))
+	for i, sp := range rev {
+		out[len(rev)-1-i] = sp
+	}
+	return out
+}
+
+// traceKey identifies a payload.
+type traceKey struct {
+	seq int
+	src graph.NodeID
+}
+
+// Traces builds the causal span DAGs of every payload in the recording,
+// in order of first appearance (deterministic: the event stream is).
+func (r *Recording) Traces() []*MsgTrace {
+	role := make(map[graph.NodeID]byte, len(r.Nodes))
+	depth := make(map[graph.NodeID]int, len(r.Nodes))
+	for i := range r.Nodes {
+		role[r.Nodes[i].ID] = r.Nodes[i].Role
+		depth[r.Nodes[i].ID] = r.Nodes[i].Depth
+	}
+	byKey := make(map[traceKey]*MsgTrace)
+	var order []*MsgTrace
+	get := func(m radio.Message) *MsgTrace {
+		k := traceKey{seq: m.Seq, src: m.Src}
+		t, ok := byKey[k]
+		if !ok {
+			t = &MsgTrace{
+				Seq: m.Seq, Src: m.Src,
+				firstRx: make(map[graph.NodeID]*Span),
+				lastTx:  make(map[graph.NodeID]*Span),
+			}
+			byKey[k] = t
+			order = append(order, t)
+		}
+		return t
+	}
+	mkSpan := func(t *MsgTrace, kind SpanKind, ev radio.Event) *Span {
+		d, ok := depth[ev.Node]
+		if !ok {
+			d = -1
+		}
+		s := &Span{
+			Kind: kind, Node: ev.Node, Round: ev.Round, Channel: ev.Channel,
+			Role: role[ev.Node], Depth: d, Slot: ev.Msg.Slot, Seq: ev.Seq,
+		}
+		t.Spans = append(t.Spans, s)
+		return s
+	}
+	for _, ev := range r.Events {
+		switch ev.Kind {
+		case radio.EvTransmit:
+			t := get(ev.Msg)
+			s := mkSpan(t, SpanTx, ev)
+			if rx, ok := t.firstRx[ev.Node]; ok {
+				s.Parent = rx
+				rx.Children = append(rx.Children, s)
+			} else {
+				t.Roots = append(t.Roots, s)
+			}
+			t.lastTx[ev.Node] = s
+		case radio.EvDeliver:
+			t := get(ev.Msg)
+			s := mkSpan(t, SpanRx, ev)
+			if tx, ok := t.lastTx[ev.Peer]; ok {
+				// The engine emits the transmission before its receptions,
+				// so the cause is always already present.
+				s.Parent = tx
+				tx.Children = append(tx.Children, s)
+			} else {
+				t.Roots = append(t.Roots, s)
+			}
+			if _, seen := t.firstRx[ev.Node]; !seen {
+				t.firstRx[ev.Node] = s
+			}
+		}
+	}
+	return order
+}
+
+// Trace returns the payload trace with the given message sequence number
+// (nil when the recording has none). When several sources used the same
+// sequence the one appearing first wins.
+func (r *Recording) Trace(msgSeq int) *MsgTrace {
+	for _, t := range r.Traces() {
+		if t.Seq == msgSeq {
+			return t
+		}
+	}
+	return nil
+}
+
+// mainTrace picks the payload trace of the recorded broadcast: the one
+// with the most spans (ties broken by first appearance).
+func (r *Recording) mainTrace() *MsgTrace {
+	var best *MsgTrace
+	for _, t := range r.Traces() {
+		if best == nil || len(t.Spans) > len(best.Spans) {
+			best = t
+		}
+	}
+	return best
+}
+
+// WriteTree renders the span DAG as an indented tree, one line per span.
+func (t *MsgTrace) WriteTree(w io.Writer) error {
+	rx := 0
+	seen := make(map[graph.NodeID]bool)
+	for _, s := range t.Spans {
+		if s.Kind == SpanRx && !seen[s.Node] {
+			seen[s.Node] = true
+			rx++
+		}
+	}
+	if _, err := fmt.Fprintf(w, "trace seq=%d src=%d: %d spans, %d nodes reached\n",
+		t.Seq, t.Src, len(t.Spans), rx); err != nil {
+		return err
+	}
+	var walk func(s *Span, indent int) error
+	walk = func(s *Span, indent int) error {
+		for i := 0; i < indent; i++ {
+			if _, err := io.WriteString(w, "  "); err != nil {
+				return err
+			}
+		}
+		line := fmt.Sprintf("%s node %d r%d ch%d depth=%d role=%s",
+			s.Kind, s.Node, s.Round, s.Channel, s.Depth, RoleName(s.Role))
+		if s.Slot > 0 {
+			line += fmt.Sprintf(" slot=%d", s.Slot)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+		for _, c := range s.Children {
+			if err := walk(c, indent+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, root := range t.Roots {
+		if err := walk(root, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MissReport explains why a node never received the broadcast payload:
+// the first hop (From -> To) of the structural path source → node where
+// the payload stopped, and the evidence-backed reason.
+type MissReport struct {
+	Node     graph.NodeID
+	Received bool
+	Round    int // round of reception when Received, else 0
+	// From/To is the first broken hop; Reason the diagnosis.
+	From, To graph.NodeID
+	Reason   string
+}
+
+// String renders the report as one line.
+func (m MissReport) String() string {
+	if m.Received {
+		return fmt.Sprintf("node %d received the payload in round %d", m.Node, m.Round)
+	}
+	return fmt.Sprintf("node %d never received: first broken hop %d -> %d (%s)",
+		m.Node, m.From, m.To, m.Reason)
+}
+
+// WhyMissed localizes the first failed hop on the structural path from
+// the broadcast source to node: preamble hops source → root up the tree,
+// then tree hops root → node. It walks the path from the source end and
+// stops at the first hop whose far end never held the payload, then mines
+// the event stream and churn deltas for the reason (transmitter died,
+// frame lost, collision, link cut, or a scheduling gap).
+func (r *Recording) WhyMissed(node graph.NodeID) (MissReport, error) {
+	t := r.mainTrace()
+	if t == nil {
+		return MissReport{}, fmt.Errorf("flight: recording has no payload trace")
+	}
+	holders := t.Holders()
+	if holders[node] {
+		round, _ := t.DeliveredRound(node)
+		return MissReport{Node: node, Received: true, Round: round}, nil
+	}
+	parents := r.parents()
+	if _, ok := parents[node]; !ok {
+		return MissReport{}, fmt.Errorf("flight: node %d not in recorded topology", node)
+	}
+	src := r.Header.Source
+	if _, ok := parents[src]; !ok {
+		src = t.Src
+	}
+	path, err := r.structuralPath(parents, src, node)
+	if err != nil {
+		return MissReport{}, err
+	}
+	for i := 0; i+1 < len(path); i++ {
+		u, v := path[i], path[i+1]
+		if holders[u] && !holders[v] {
+			return MissReport{
+				Node: node, From: u, To: v,
+				Reason: r.diagnoseHop(t, u, v),
+			}, nil
+		}
+	}
+	return MissReport{}, fmt.Errorf("flight: no broken hop on path to %d (source never held the payload?)", node)
+}
+
+// structuralPath is the expected delivery route src → ... → root → ... →
+// dst over the recorded tree (the up-leg is the preamble; the down-leg is
+// the flooding direction). The shared prefix above the two nodes' lowest
+// common ancestor is trimmed.
+func (r *Recording) structuralPath(parents map[graph.NodeID]graph.NodeID, src, dst graph.NodeID) ([]graph.NodeID, error) {
+	up, err := pathToRoot(parents, src)
+	if err != nil {
+		return nil, err
+	}
+	down, err := pathToRoot(parents, dst)
+	if err != nil {
+		return nil, err
+	}
+	// Trim the common tail (ancestors above the LCA), keeping the LCA.
+	for len(up) >= 2 && len(down) >= 2 &&
+		up[len(up)-1] == down[len(down)-1] && up[len(up)-2] == down[len(down)-2] {
+		up = up[:len(up)-1]
+		down = down[:len(down)-1]
+	}
+	for i := len(down) - 2; i >= 0; i-- { // skip the LCA already in up
+		up = append(up, down[i])
+	}
+	return up, nil
+}
+
+// pathToRoot walks the parent map from id to the root, inclusive.
+func pathToRoot(parents map[graph.NodeID]graph.NodeID, id graph.NodeID) ([]graph.NodeID, error) {
+	var out []graph.NodeID
+	for cur := id; ; {
+		out = append(out, cur)
+		p, ok := parents[cur]
+		if !ok {
+			return nil, fmt.Errorf("flight: node %d not in recorded topology", cur)
+		}
+		if p == NoParent {
+			return out, nil
+		}
+		if len(out) > len(parents) {
+			return nil, fmt.Errorf("flight: parent cycle at node %d", cur)
+		}
+		cur = p
+	}
+}
+
+// diagnoseHop explains why v never got the payload from u, in evidence
+// priority order: v or u died, the frame was lost, v heard a collision
+// while u transmitted, the u-v link was cut, or u simply never relayed.
+func (r *Recording) diagnoseHop(t *MsgTrace, u, v graph.NodeID) string {
+	died := make(map[graph.NodeID]int)
+	cut := make(map[Edge]int)
+	for _, ev := range r.Events {
+		switch ev.Kind {
+		case radio.EvNodeFail:
+			if _, ok := died[ev.Node]; !ok {
+				died[ev.Node] = ev.Round
+			}
+		case radio.EvLinkFail:
+			e := Edge{U: ev.Node, V: ev.Peer}
+			if e.U > e.V {
+				e.U, e.V = e.V, e.U
+			}
+			if _, ok := cut[e]; !ok {
+				cut[e] = ev.Round
+			}
+		}
+	}
+	var txRounds []int
+	for _, s := range t.Spans {
+		if s.Kind == SpanTx && s.Node == u {
+			txRounds = append(txRounds, s.Round)
+		}
+	}
+	sort.Ints(txRounds)
+	if len(txRounds) == 0 {
+		if rd, ok := died[u]; ok {
+			return fmt.Sprintf("transmitter %d died in round %d before relaying", u, rd)
+		}
+		return fmt.Sprintf("holder %d never transmitted the payload (not scheduled to relay)", u)
+	}
+	if rd, ok := died[v]; ok && rd <= txRounds[len(txRounds)-1] {
+		return fmt.Sprintf("receiver %d died in round %d", v, rd)
+	}
+	inTxRound := func(round int) bool {
+		i := sort.SearchInts(txRounds, round)
+		return i < len(txRounds) && txRounds[i] == round
+	}
+	for _, ev := range r.Events {
+		if ev.Kind == radio.EvLoss && ev.Node == v && ev.Peer == u {
+			return fmt.Sprintf("frame %d -> %d lost in round %d (loss model)", u, v, ev.Round)
+		}
+		if ev.Kind == radio.EvCollision && ev.Node == v && inTxRound(ev.Round) {
+			return fmt.Sprintf("collision at %d in round %d while %d transmitted", v, ev.Round, u)
+		}
+	}
+	e := Edge{U: u, V: v}
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	if rd, ok := cut[e]; ok && rd <= txRounds[len(txRounds)-1] {
+		return fmt.Sprintf("link %d-%d cut in round %d", e.U, e.V, rd)
+	}
+	return fmt.Sprintf("%d transmitted in round %d but %d was not listening on its channel", u, txRounds[0], v)
+}

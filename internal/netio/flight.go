@@ -1,0 +1,52 @@
+package netio
+
+import (
+	"dynsens/internal/cnet"
+	"dynsens/internal/core"
+	"dynsens/internal/flight"
+	"dynsens/internal/timeslot"
+)
+
+// RecordTopology writes the network's current structural state — every
+// node's role, tree parent, depth and time-slots, plus all G-edges — into
+// a flight recording. Call it after construction/churn and before the
+// protocol run so the offline verifier can re-check Definition 1/2 and
+// Lemma 2/3 against exactly the structure the schedule was built on.
+func RecordTopology(w *flight.Writer, net *core.Network) {
+	tr := net.CNet().Tree()
+	depth := tr.DepthMap()
+	slots := net.Slots()
+	for _, id := range tr.Nodes() {
+		st, _ := net.CNet().Status(id)
+		role := byte(flight.RoleMember)
+		switch st {
+		case cnet.Head:
+			role = flight.RoleHead
+		case cnet.Gateway:
+			role = flight.RoleGateway
+		}
+		parent := flight.NoParent
+		if p, ok := tr.Parent(id); ok {
+			parent = p
+		}
+		n := flight.NodeInfo{ID: id, Role: role, Parent: parent, Depth: depth[id]}
+		if s, ok := slots.Slot(timeslot.B, id); ok {
+			n.BSlot = s
+		}
+		if s, ok := slots.Slot(timeslot.L, id); ok {
+			n.LSlot = s
+		}
+		if s, ok := slots.Slot(timeslot.U, id); ok {
+			n.USlot = s
+		}
+		w.WriteNode(n)
+	}
+	g := net.Graph()
+	for _, u := range g.Nodes() {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				w.WriteEdge(u, v)
+			}
+		}
+	}
+}

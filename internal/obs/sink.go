@@ -11,6 +11,9 @@ import (
 // EventRecord is the JSONL form of one radio event. Message fields are
 // only populated for kinds that carry a message (tx, rx, loss).
 type EventRecord struct {
+	// ESeq is the engine's monotonic event sequence number; consumers use
+	// it to detect gaps and order events across merged streams.
+	ESeq    uint64 `json:"eseq"`
 	Round   int    `json:"round"`
 	Kind    string `json:"kind"`
 	Node    int    `json:"node"`
@@ -46,6 +49,7 @@ func NewEventSink(w io.Writer) *EventSink {
 func (s *EventSink) Hook() func(radio.Event) {
 	return func(ev radio.Event) {
 		rec := EventRecord{
+			ESeq:    ev.Seq,
 			Round:   ev.Round,
 			Kind:    ev.Kind.String(),
 			Node:    int(ev.Node),

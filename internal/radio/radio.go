@@ -145,6 +145,11 @@ func (k EventKind) String() string {
 
 // Event is a trace record.
 type Event struct {
+	// Seq is the engine's monotonic event sequence number, starting at 1
+	// per engine. Hook consumers use it to detect gaps (a bounded recorder
+	// dropped events) and to order events without relying on callback
+	// order.
+	Seq     uint64
 	Round   int
 	Kind    EventKind
 	Node    graph.NodeID
@@ -218,6 +223,7 @@ type Engine struct {
 	linkFail map[linkKey]int      // link -> round it is cut (inclusive)
 	skew     map[graph.NodeID]int // node -> local clock offset in rounds
 	trace    func(Event)
+	seq      uint64 // monotonic Event.Seq counter
 
 	// lossRate drops each (transmitter, listener, round) frame
 	// independently with this probability; lossRng drives the coins.
@@ -301,6 +307,8 @@ func (e *Engine) linkAlive(u, v graph.NodeID, round int) bool {
 }
 
 func (e *Engine) emit(ev Event) {
+	e.seq++
+	ev.Seq = e.seq
 	if e.trace != nil {
 		e.trace(ev)
 	}

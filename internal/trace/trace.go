@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 
+	"dynsens/internal/obs"
 	"dynsens/internal/radio"
 )
 
@@ -16,16 +17,32 @@ import (
 // radio.EventKind.String produces; the alias predates that method.
 func KindName(k radio.EventKind) string { return k.String() }
 
-// Recorder collects events up to a limit (0 = unlimited).
+// MetricTraceEventsDropped counts events a bounded Recorder refused to
+// keep — the observability of the recorder's own blind spot. Emitted only
+// by instrumented recorders (see Instrument).
+const MetricTraceEventsDropped = "dynsens_trace_events_dropped_total"
+
+// Recorder collects events up to a limit (0 = unlimited). Events beyond
+// the limit are not silently gone: Dropped reports the count, Render
+// appends it as a footer, and Instrument exports it as an obs counter.
 type Recorder struct {
 	limit   int
 	events  []radio.Event
 	dropped int
+	dropCtr *obs.Counter // nil unless Instrument was called
 }
 
 // NewRecorder creates a recorder keeping at most limit events (0 keeps
 // everything).
 func NewRecorder(limit int) *Recorder { return &Recorder{limit: limit} }
+
+// Instrument makes the recorder count dropped events into reg under
+// MetricTraceEventsDropped, so a truncated recording is visible on the
+// metrics plane, not only in the timeline footer.
+func (r *Recorder) Instrument(reg *obs.Registry) {
+	r.dropCtr = reg.Counter(MetricTraceEventsDropped,
+		"Radio events dropped by a bounded trace recorder.")
+}
 
 // Hook returns the callback to install with Engine.SetTrace or
 // broadcast.Options.Trace.
@@ -33,6 +50,9 @@ func (r *Recorder) Hook() func(radio.Event) {
 	return func(ev radio.Event) {
 		if r.limit > 0 && len(r.events) >= r.limit {
 			r.dropped++
+			if r.dropCtr != nil {
+				r.dropCtr.Inc()
+			}
 			return
 		}
 		r.events = append(r.events, ev)
@@ -85,10 +105,18 @@ func (r *Recorder) LastRound() int {
 	return max
 }
 
-// Render writes a per-round timeline. Rounds with no events are skipped.
+// Render writes a per-round timeline. Rounds with no events are skipped;
+// a bounded recorder that dropped events says so in a footer line.
 func (r *Recorder) Render(w io.Writer) error {
+	return RenderEvents(w, r.events, r.dropped)
+}
+
+// RenderEvents writes the per-round timeline for an arbitrary event slice
+// (the same rendering Recorder.Render uses; the flight replayer shares
+// it). dropped > 0 appends the truncation footer.
+func RenderEvents(w io.Writer, events []radio.Event, dropped int) error {
 	byRound := make(map[int][]radio.Event)
-	for _, ev := range r.events {
+	for _, ev := range events {
 		byRound[ev.Round] = append(byRound[ev.Round], ev)
 	}
 	rounds := make([]int, 0, len(byRound))
@@ -130,18 +158,23 @@ func (r *Recorder) Render(w io.Writer) error {
 			}
 		}
 	}
-	if r.dropped > 0 {
-		if _, err := fmt.Fprintf(w, "(%d events dropped beyond limit)\n", r.dropped); err != nil {
+	if dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(%d events dropped beyond limit)\n", dropped); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Summary renders one line of per-kind counts.
+// Summary renders one line of per-kind counts; a bounded recorder that
+// overflowed reports its drop count too.
 func (r *Recorder) Summary() string {
 	c := r.Counts()
-	return fmt.Sprintf("events=%d tx=%d rx=%d collisions=%d node-fails=%d link-fails=%d (last round %d)",
+	s := fmt.Sprintf("events=%d tx=%d rx=%d collisions=%d node-fails=%d link-fails=%d (last round %d)",
 		len(r.events), c[radio.EvTransmit], c[radio.EvDeliver], c[radio.EvCollision],
 		c[radio.EvNodeFail], c[radio.EvLinkFail], r.LastRound())
+	if r.dropped > 0 {
+		s += fmt.Sprintf(" [%d dropped]", r.dropped)
+	}
+	return s
 }

@@ -35,9 +35,22 @@ awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t+0 >= b+0) }' || {
 }
 
 echo "== fuzz smoke"
-# A few seconds of the netio reader fuzzer: keeps the harness compiling and
-# catches shallow regressions; long fuzz runs stay manual.
+# A few seconds per fuzzer: keeps the harnesses compiling and catches
+# shallow regressions; long fuzz runs stay manual.
 go test -run '^$' -fuzz '^FuzzNetioRead$' -fuzztime 5s ./internal/netio
+go test -run '^$' -fuzz '^FuzzRecordingDecode$' -fuzztime 5s ./internal/flight
+
+echo "== replay smoke"
+# Record a 200-node run with mid-broadcast failures, then replay it
+# offline: the paper-invariant verifier must pass and the Chrome trace
+# export must be valid JSON (docs/observability.md, "Tracing & flight
+# recording").
+replay_dir=$(mktemp -d)
+trap 'rm -rf "$replay_dir"' EXIT
+go run ./cmd/dynsim -n 200 -side 10 -seed 7 -failfrac 0.1 -record "$replay_dir/run.dsfr" > /dev/null
+go run ./cmd/nettool replay -chrome-trace "$replay_dir/trace.json" "$replay_dir/run.dsfr" | tee "$replay_dir/replay.txt"
+grep -q 'verifier: PASS' "$replay_dir/replay.txt"
+go run ./scripts/jsoncheck "$replay_dir/trace.json"
 
 echo "== dynlint"
 go run ./cmd/dynlint ./...

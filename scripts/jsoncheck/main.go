@@ -1,0 +1,24 @@
+// Command jsoncheck fails when any argument file is not valid JSON; CI
+// uses it to assert that exported Chrome traces parse without depending on
+// tools outside the Go toolchain.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	for _, path := range os.Args[1:] {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s is not valid JSON\n", path)
+			os.Exit(1)
+		}
+	}
+}
