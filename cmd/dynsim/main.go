@@ -41,6 +41,7 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", 1, "deployment seed")
 	flag.StringVar(&cfg.Protocol, "protocol", "icff", "icff|cff|dfo|multicast|gather")
 	flag.IntVar(&cfg.Channels, "channels", 1, "radio channels k")
+	flag.IntVar(&cfg.Workers, "workers", 0, "radio engine shard workers (0 = auto; results are identical at any value)")
 	flag.IntVar(&cfg.Source, "source", 0, "broadcast source node ID")
 	flag.Float64Var(&cfg.FailFrac, "failfrac", 0, "fraction of nodes failing mid-broadcast")
 	flag.Float64Var(&cfg.GroupFrac, "groupfrac", 0.2, "multicast group membership probability")
@@ -60,10 +61,14 @@ func main() {
 
 // runConfig carries every knob of one scenario; tests build it directly.
 type runConfig struct {
-	N, Side   int
-	Seed      int64
-	Protocol  string
-	Channels  int
+	N, Side  int
+	Seed     int64
+	Protocol string
+	Channels int
+	// Workers is the radio engine's shard-worker count; 0 lets the engine
+	// choose. Purely a wall-clock knob: the simulation is byte-identical
+	// at any value.
+	Workers   int
 	Source    int
 	FailFrac  float64
 	GroupFrac float64
@@ -206,7 +211,7 @@ func run(cfg runConfig) error {
 	fmt.Printf("degrees/slots: D=%d d=%d Delta=%d delta=%d (Lemma 3 bounds %d / %d)\n",
 		st.DegreeG, st.DegreeBT, st.Delta, st.SmallDelta, st.BoundL, st.BoundB)
 
-	opts := broadcast.Options{Channels: cfg.Channels, Obs: reg}
+	opts := broadcast.Options{Channels: cfg.Channels, Workers: cfg.Workers, Obs: reg}
 	if cfg.Verbose {
 		opts.Trace = func(ev radio.Event) {
 			switch ev.Kind {
@@ -277,7 +282,7 @@ func run(cfg runConfig) error {
 		for _, f := range opts.Failures {
 			gfails = append(gfails, gather.Failure{Node: f.Node, Round: f.Round})
 		}
-		gm, err := net.Gather(values, gather.Options{Failures: gfails})
+		gm, err := net.Gather(values, gather.Options{Failures: gfails, Workers: cfg.Workers})
 		if err != nil {
 			return err
 		}

@@ -15,6 +15,10 @@ import (
 // no way to know when the broadcast ends, which is exactly the energy
 // weakness the paper attacks — and pure members pick the payload up when
 // their head transmits.
+//
+// Contract compliance (radio.Program): the tour tables are written only at
+// build time; run-time state (payload, token arrivals, curRound) is
+// node-private. Done is pure and monotone: curRound only grows.
 type dfoNode struct {
 	id      graph.NodeID
 	tourEnd int
@@ -30,6 +34,8 @@ type dfoNode struct {
 	tokenAt       map[int]bool // rounds in which a token addressed to us arrived
 	curRound      int
 }
+
+var _ radio.Program = (*dfoNode)(nil)
 
 func (p *dfoNode) Received() (bool, int) {
 	if p.startHas {

@@ -1,0 +1,120 @@
+package broadcast
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dynsens/internal/flight"
+	"dynsens/internal/graph"
+	"dynsens/internal/radio"
+	"dynsens/internal/timeslot"
+)
+
+// runRecorded executes one protocol run at the given engine worker count,
+// capturing both the serialized trace stream and the complete .dsfr flight
+// recording. The plan is rebuilt per call so program state never leaks
+// between runs.
+func runRecorded(t *testing.T, build func() (*Plan, *graph.Graph), opts Options, workers int) (Metrics, []byte, []byte) {
+	t.Helper()
+	plan, g := build()
+	var traceBuf, flightBuf bytes.Buffer
+	fw := flight.NewWriter(&flightBuf)
+	fw.WriteHeader(flight.Header{Seed: 1, N: g.NumNodes(), Protocol: plan.Protocol,
+		LossRate: opts.LossRate, LossSeed: opts.LossSeed})
+	opts.Workers = workers
+	opts.Trace = func(ev radio.Event) { fmt.Fprintf(&traceBuf, "%+v\n", ev) }
+	opts.Flight = fw
+	m, err := plan.Run(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return m, traceBuf.Bytes(), flightBuf.Bytes()
+}
+
+// TestRunByteIdenticalAcrossWorkers is the protocol-level arm of the
+// determinism proof: a full ICFF, CFF and DFO run — with failures, loss
+// and skew in the mix — must produce byte-identical trace streams and
+// byte-identical .dsfr flight recordings at every engine worker count.
+func TestRunByteIdenticalAcrossWorkers(t *testing.T) {
+	a := buildAssigned(t, 5, 140, timeslot.ConditionStrict)
+	g := a.Net().Graph()
+	nodes := g.Nodes()
+	cases := []struct {
+		name  string
+		build func() (*Plan, *graph.Graph)
+		opts  Options
+	}{
+		{
+			name: "icff",
+			build: func() (*Plan, *graph.Graph) {
+				plan, err := ICFFPlan(a, 0, 1, nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return plan, g
+			},
+			opts: Options{},
+		},
+		{
+			name: "icff-loss-failures",
+			build: func() (*Plan, *graph.Graph) {
+				plan, err := ICFFPlan(a, 0, 2, nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return plan, g
+			},
+			opts: Options{
+				Channels: 2,
+				LossRate: 0.25, LossSeed: 99,
+				Failures:     []NodeFailure{{Node: nodes[len(nodes)/2], Round: 3}, {Node: nodes[len(nodes)/3], Round: 5}},
+				LinkFailures: []LinkFailure{{A: nodes[1], B: nodes[2], Round: 2}},
+				Skew:         map[graph.NodeID]int{nodes[4]: 1, nodes[7]: -1},
+			},
+		},
+		{
+			name: "cff",
+			build: func() (*Plan, *graph.Graph) {
+				plan, err := CFFPlan(a, 0, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return plan, g
+			},
+			opts: Options{},
+		},
+		{
+			name: "dfo",
+			build: func() (*Plan, *graph.Graph) {
+				plan, err := DFOPlan(a.Net(), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return plan, g
+			},
+			opts: Options{LossRate: 0.1, LossSeed: 7},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantM, wantTrace, wantFlight := runRecorded(t, tc.build, tc.opts, 1)
+			for _, w := range []int{2, 4, 9} {
+				gotM, gotTrace, gotFlight := runRecorded(t, tc.build, tc.opts, w)
+				if gotM.String() != wantM.String() {
+					t.Fatalf("workers=%d metrics diverge:\n got %s\nwant %s", w, gotM, wantM)
+				}
+				if !bytes.Equal(gotTrace, wantTrace) {
+					t.Fatalf("workers=%d trace stream diverges", w)
+				}
+				if !bytes.Equal(gotFlight, wantFlight) {
+					t.Fatalf("workers=%d flight recording diverges (%d vs %d bytes)",
+						w, len(gotFlight), len(wantFlight))
+				}
+			}
+		})
+	}
+}

@@ -39,6 +39,12 @@ type Options struct {
 	// (fading model); LossSeed drives the coins.
 	LossRate float64
 	LossSeed int64
+	// Workers sets the radio engine's shard-worker count
+	// (radio.Engine.SetWorkers): 0 keeps the engine default (GOMAXPROCS,
+	// inline below the engine's small-graph threshold). Results and
+	// recordings are byte-identical at any value; this only trades
+	// wall-clock time.
+	Workers int
 	// Trace receives engine events when non-nil.
 	Trace func(radio.Event)
 	// Obs, when non-nil, receives the run's instrumentation: radio event
@@ -187,6 +193,7 @@ func (p *Plan) Run(g *graph.Graph, opts Options) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
+	eng.SetWorkers(opts.Workers)
 	var col *obs.RadioCollector
 	if opts.Obs != nil {
 		col = obs.NewRadioCollector(opts.Obs, obs.L("protocol", p.Protocol))

@@ -38,6 +38,10 @@ type PFloodOptions struct {
 // backoff, and keep listening until the horizon (there is no structure to
 // say when it is safe to sleep — the energy cost the paper's clustering
 // removes).
+//
+// Contract compliance (radio.Program): the forwarding coin and backoff are
+// drawn at build time, so run-time state is node-private; Done is a pure
+// monotone horizon threshold.
 type pfloodNode struct {
 	id       graph.NodeID
 	startHas bool
@@ -50,6 +54,8 @@ type pfloodNode struct {
 	txRound       int
 	cur           int
 }
+
+var _ radio.Program = (*pfloodNode)(nil)
 
 func (p *pfloodNode) Received() (bool, int) {
 	if p.startHas {

@@ -43,7 +43,15 @@ type txPlan struct {
 }
 
 // floodNode is the generic flooding program: listen in windows until the
-// payload arrives, then fire the scheduled transmissions.
+// payload arrives, then fire the scheduled transmissions. It backs CFF,
+// ICFF, multicast and the reliable repetitions.
+//
+// Contract compliance (radio.Program): all state is node-private; the
+// listen/tx plans are written only at build time. Done is pure and
+// monotone — once the remaining plan (txs when holding the payload,
+// listen windows otherwise) is exhausted it can never regrow, and a node
+// that finishes without the payload has no listen window left through
+// which has() could flip.
 type floodNode struct {
 	id       graph.NodeID
 	startHas bool
@@ -54,6 +62,8 @@ type floodNode struct {
 	receivedRound int
 	curRound      int // last round passed to Act
 }
+
+var _ radio.Program = (*floodNode)(nil)
 
 func (p *floodNode) has() bool { return p.startHas || p.received }
 

@@ -13,6 +13,10 @@ import (
 // node ID; a node transmits in its slot once it holds the payload and
 // keeps doing so every phase (it cannot know when its neighbors are done),
 // and listens until the payload arrives.
+//
+// Contract compliance (radio.Program): slot index and phase length are
+// fixed at build time; run-time state is node-private and Done is a pure
+// monotone horizon threshold.
 type rrNode struct {
 	id       graph.NodeID
 	index    int // position of id in the sorted ID list
@@ -24,6 +28,8 @@ type rrNode struct {
 	receivedRound int
 	cur           int
 }
+
+var _ radio.Program = (*rrNode)(nil)
 
 func (p *rrNode) Received() (bool, int) {
 	if p.startHas {

@@ -51,6 +51,9 @@ type Options struct {
 	SilentEpochs int
 	// MaxRounds hard-bounds the run. Default 4096.
 	MaxRounds int
+	// Workers sets the radio engine's shard-worker count (see
+	// radio.Engine.SetWorkers); 0 keeps the engine default.
+	Workers int
 }
 
 func (o Options) epochLength() int {
@@ -91,6 +94,9 @@ type Result struct {
 }
 
 // joinerProg alternates probe and listen rounds and tracks discoveries.
+//
+// Contract compliance (radio.Program): all state is node-private; Done is
+// a pure read of the done flag, which is set once and never cleared.
 type joinerProg struct {
 	id   graph.NodeID
 	opts Options
@@ -154,6 +160,11 @@ func (p *joinerProg) Done() bool { return p.done }
 // responderProg answers probes with decaying probability until ACKed, and
 // gives up once probes stop arriving (the joiner finished without hearing
 // it — the Monte Carlo miss case) so the simulation quiesces.
+//
+// Contract compliance (radio.Program): each responder owns a private
+// rand.Rand split off the run's stream at build time, so concurrent Act
+// calls across nodes never share a coin source; acked is set once and
+// never cleared, keeping Done pure and monotone.
 type responderProg struct {
 	id        graph.NodeID
 	rng       *rand.Rand
@@ -241,6 +252,7 @@ func Run(g *graph.Graph, joiner graph.NodeID, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	eng.SetWorkers(opts.Workers)
 	res := eng.Run(opts.maxRounds())
 
 	out := Result{
@@ -264,6 +276,12 @@ func Run(g *graph.Graph, joiner graph.NodeID, opts Options) (Result, error) {
 	}
 	return out, nil
 }
+
+var (
+	_ radio.Program = (*joinerProg)(nil)
+	_ radio.Program = (*responderProg)(nil)
+	_ radio.Program = silent{}
+)
 
 // silent is a non-participant.
 type silent struct{}

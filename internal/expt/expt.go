@@ -54,6 +54,13 @@ type Params struct {
 	// seeded simulation, so parallel execution is deterministic: results
 	// are aggregated by point, not by arrival order.
 	Workers int
+	// EngineWorkers sets the radio engine's shard-worker count *inside*
+	// each point (radio.Engine.SetWorkers). The default 0 pins point
+	// engines to a single shard: the sweep already saturates cores across
+	// points, and the paper's point sizes sit below the engine's parallel
+	// threshold anyway. Set it for large-n sweeps where a single point
+	// dominates wall-clock time. Any value yields identical results.
+	EngineWorkers int
 	// NewRand, when non-nil, replaces the default rand construction for
 	// every auxiliary random stream (clock skew, crash sets, loss coins).
 	// It is called with a per-point derived seed and must return an
@@ -81,6 +88,13 @@ func (p Params) workers() int {
 		return p.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (p Params) engineWorkers() int {
+	if p.EngineWorkers > 0 {
+		return p.EngineWorkers
+	}
+	return 1
 }
 
 // rng constructs the auxiliary random stream for a derived per-point seed.
@@ -231,6 +245,11 @@ func safeLeaveCandidate(net *core.Network) (graph.NodeID, bool) {
 // options and returns both metrics. When the sweep has a Flight factory,
 // the ICFF run of the point is captured as a flight recording.
 func runBoth(p Params, net *core.Network, n int, seed int64, opts broadcast.Options) (icff, dfo broadcast.Metrics, err error) {
+	if opts.Workers == 0 {
+		// Points run concurrently already; nested engine parallelism
+		// would oversubscribe unless the caller asked for it.
+		opts.Workers = p.engineWorkers()
+	}
 	icffOpts := opts
 	var fw *flight.Writer
 	if p.Flight != nil {

@@ -264,7 +264,10 @@ func (w *Writer) WriteEvent(ev radio.Event) {
 }
 
 // Hook returns the callback to install with radio.Engine.SetTrace or
-// broadcast.Options.Trace.
+// broadcast.Options.Trace. The Writer is not goroutine-safe, but it does
+// not need to be for engine hooks: the radio kernel emits all events from
+// one goroutine (its sequential merge phase) at any worker count, and the
+// recorded byte stream is identical at any radio.Engine.SetWorkers value.
 func (w *Writer) Hook() func(radio.Event) { return w.WriteEvent }
 
 // SetFooter stages the run outcome to be written on Close. The ring drop

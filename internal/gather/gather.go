@@ -165,6 +165,11 @@ func (m Metrics) String() string {
 }
 
 // gatherNode aggregates its subtree and fires once in its depth window.
+//
+// Contract compliance (radio.Program): the schedule and child set are
+// written only at build time; the running sum is node-private (each node
+// aggregates what *it* heard — there is no shared accumulator). Done is a
+// pure monotone threshold on the node's own schedule end.
 type gatherNode struct {
 	id       graph.NodeID
 	value    int64
@@ -179,6 +184,8 @@ type gatherNode struct {
 	heardFrom map[graph.NodeID]bool
 	cur       int
 }
+
+var _ radio.Program = (*gatherNode)(nil)
 
 func (p *gatherNode) Act(round int) radio.Action {
 	p.cur = round
@@ -215,6 +222,9 @@ func (p *gatherNode) Done() bool {
 type Options struct {
 	// Failures are node deaths to inject.
 	Failures []Failure
+	// Workers sets the radio engine's shard-worker count (see
+	// radio.Engine.SetWorkers); 0 keeps the engine default.
+	Workers int
 	// Trace receives engine events.
 	Trace func(radio.Event)
 }
@@ -272,6 +282,7 @@ func Run(net *cnet.CNet, sched *Schedule, values map[graph.NodeID]int64, opts Op
 	if err != nil {
 		return Metrics{}, err
 	}
+	eng.SetWorkers(opts.Workers)
 	if opts.Trace != nil {
 		eng.SetTrace(opts.Trace)
 	}

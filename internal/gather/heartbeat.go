@@ -41,6 +41,7 @@ func Heartbeat(net *cnet.CNet, sched *Schedule, opts Options) (HeartbeatReport, 
 	if err != nil {
 		return HeartbeatReport{}, err
 	}
+	eng.SetWorkers(opts.Workers)
 	if opts.Trace != nil {
 		eng.SetTrace(opts.Trace)
 	}

@@ -157,6 +157,19 @@ func (g *Graph) Neighbors(id NodeID) []NodeID {
 	return out
 }
 
+// WarmAdjacency materializes the sorted node listing and every node's
+// sorted adjacency slice in the caches. Neighbors and Nodes build their
+// caches lazily — a map write on first call — so concurrent readers of an
+// otherwise-immutable graph must warm the caches first; after
+// WarmAdjacency returns (and until the next mutation), Nodes, Neighbors,
+// HasEdge, Degree and NumEdges are safe to call from multiple goroutines.
+// The radio engine's parallel kernel relies on this.
+func (g *Graph) WarmAdjacency() {
+	for _, id := range g.Nodes() {
+		g.Neighbors(id)
+	}
+}
+
 // Degree returns the degree of id (0 for absent nodes).
 func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
 

@@ -200,6 +200,17 @@ func queryPhase(net *core.Network, g *graph.Graph, id graph.NodeID, nbrs []graph
 	return j.info, r.Rounds, nil
 }
 
+// queryJoiner, queryResponder, attachNode and idle (plus leaveproto's
+// tourNode) run on the radio engine and honor the radio.Program contract:
+// every field is node-private or written only at build time, and each
+// Done is a pure monotone threshold on the node's own round counter.
+var (
+	_ radio.Program = (*queryJoiner)(nil)
+	_ radio.Program = (*queryResponder)(nil)
+	_ radio.Program = (*attachNode)(nil)
+	_ radio.Program = idle{}
+)
+
 type queryJoiner struct {
 	id      graph.NodeID
 	targets []graph.NodeID

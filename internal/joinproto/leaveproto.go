@@ -166,13 +166,15 @@ func runTour(g *graph.Graph, tour []graph.NodeID) (int, error) {
 }
 
 // tourNode transmits "delete me" at its tour positions and listens
-// otherwise.
+// otherwise. It honors the radio.Program contract (see joinproto.go).
 type tourNode struct {
 	id      graph.NodeID
 	rounds  []int
 	horizon int
 	cur     int
 }
+
+var _ radio.Program = (*tourNode)(nil)
 
 func (tn *tourNode) Act(round int) radio.Action {
 	tn.cur = round

@@ -40,7 +40,11 @@ func RoundBuckets() []float64 { return ExpBuckets(1, 2, 13) }
 // RadioCollector counts radio-engine events into a registry. Install its
 // Hook with radio.Engine.SetTrace (or broadcast.Options.Trace) and call
 // ObserveResult once the run finishes. The same collector labels (for
-// example protocol="ICFF") aggregate across repeated runs.
+// example protocol="ICFF") aggregate across repeated runs. The engine
+// calls the hook from a single goroutine (its sequential merge phase)
+// even when running with multiple shard workers, so the counters need no
+// coordination beyond the registry's own atomics and come out identical
+// at any worker count.
 type RadioCollector struct {
 	transmissions *Counter
 	deliveries    *Counter

@@ -1,0 +1,98 @@
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"dynsens/internal/graph"
+)
+
+// benchGraph builds a connected graph of n nodes: a random tree plus
+// chordsPerNode*n random chords (sparse ≈ degree 4, dense ≈ degree 30).
+func benchGraph(n, chordsPerNode int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	g.AddNode(0)
+	for i := 1; i < n; i++ {
+		_ = g.AddEdge(graph.NodeID(i), graph.NodeID(rng.Intn(i)))
+	}
+	for i := 0; i < chordsPerNode*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			_ = g.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	return g
+}
+
+// benchEngine builds a fresh engine over g whose chaos programs stay busy
+// for horizon rounds. Fresh programs per call keep iterations independent.
+func benchEngine(b *testing.B, g *graph.Graph, horizon int, seed int64) *Engine {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	progs := make(map[graph.NodeID]Program, g.NumNodes())
+	for _, id := range g.Nodes() {
+		progs[id] = &chaosProg{rng: rand.New(rand.NewSource(rng.Int63())), horizon: horizon}
+	}
+	eng, err := NewEngine(g, progs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkEngineRun measures a full engine run (20 rounds of mixed
+// listen/transmit load over 2 channels) across graph sizes and densities,
+// comparing the reference loop against the kernel at 1 and GOMAXPROCS
+// workers. scripts/bench.sh runs this with GOMAXPROCS=4 and turns the
+// reference-vs-kernel ratio into BENCH_PR5.json.
+func BenchmarkEngineRun(b *testing.B) {
+	const horizon = 20
+	for _, n := range []int{2000, 10000, 50000} {
+		for _, topo := range []struct {
+			name   string
+			chords int
+		}{{"sparse", 1}, {"dense", 15}} {
+			if testing.Short() && (n > 2000 || topo.name == "dense") {
+				continue // CI bench smoke: one small leg keeps it compiling
+			}
+			g := benchGraph(n, topo.chords, int64(n))
+			modes := []struct {
+				name    string
+				workers int // 0 = reference loop
+			}{
+				{"reference", 0},
+				{"workers=1", 1},
+			}
+			if p := runtime.GOMAXPROCS(0); p > 1 {
+				modes = append(modes, struct {
+					name    string
+					workers int
+				}{fmt.Sprintf("workers=%d", p), p})
+			}
+			for _, mode := range modes {
+				b.Run(fmt.Sprintf("n=%d/%s/%s", n, topo.name, mode.name), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						eng := benchEngine(b, g, horizon, int64(n)*31+int64(i))
+						if mode.workers > 0 {
+							eng.SetWorkers(mode.workers)
+						}
+						b.StartTimer()
+						var res Result
+						if mode.workers == 0 {
+							res = eng.RunReference(horizon)
+						} else {
+							res = eng.Run(horizon)
+						}
+						if res.Rounds != horizon {
+							b.Fatalf("run stopped at round %d of %d", res.Rounds, horizon)
+						}
+					}
+				})
+			}
+		}
+	}
+}

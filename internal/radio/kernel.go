@@ -1,0 +1,452 @@
+package radio
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dynsens/internal/graph"
+)
+
+// The three-phase kernel.
+//
+// Run restructures the reference loop (RunReference) into explicit phases
+// per round:
+//
+//	act     — collect each live node's Action; node-local, fans out over
+//	          ID-range shards.
+//	resolve — per listener, enumerate candidate frames from its *neighbors*
+//	          (via the cached adjacency translated to dense indices) instead
+//	          of scanning every transmitter on the channel; node-local, fans
+//	          out over the same shards.
+//	deliver — draw loss coins, emit events, count, and invoke Deliver. The
+//	          coin draws, counter updates, Seq stamping and trace-hook calls
+//	          happen in a single sequential merge on the Run goroutine;
+//	          Deliver and the Done re-evaluation then fan out again.
+//
+// Determinism by merge: workers only produce per-shard buffers. The merge
+// concatenates them in shard order, which — because shards are contiguous
+// ascending ID ranges and every per-shard buffer is filled in ascending
+// node order — visits nodes in exactly the reference loop's order. Loss
+// coins are therefore consumed from the engine's RNG in the reference
+// order, Event.Seq is stamped by the same single goroutine that invokes
+// the trace hook, and traces, obs counters and flight recordings come out
+// byte-identical at any worker count.
+//
+// Quiescence is a live/not-done counter maintained from Done transitions
+// and scheduled deaths instead of an O(n) rescan per round; the per-round
+// transmitter/listener maps of the reference loop are replaced by reusable
+// per-shard scratch buffers, so a steady-state round allocates nothing.
+
+// minParallelNodes is the graph size below which the default worker count
+// stays at 1 (phases run inline on the Run goroutine): shard bookkeeping
+// costs more than it saves on small graphs, and the paper's own sweep sizes
+// (≤ 720 nodes) are well inside that regime. An explicit SetWorkers call
+// overrides the heuristic — the equivalence tests use that to force
+// multi-shard execution on tiny graphs.
+const minParallelNodes = 1024
+
+// SetWorkers fixes the number of shard workers for Run's act, resolve and
+// deliver phases. w <= 0 restores the default: GOMAXPROCS, except that
+// graphs smaller than minParallelNodes run inline. An explicit w >= 1 is
+// honored exactly (capped at the node count). Results, traces and flight
+// recordings are byte-identical at any worker count; SetWorkers only moves
+// wall-clock time. Not safe to call while Run is in flight.
+func (e *Engine) SetWorkers(w int) { e.workers = w }
+
+func (e *Engine) effectiveWorkers(n int) int {
+	w := e.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if n < minParallelNodes {
+			w = 1
+		}
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// shard is one contiguous ascending range [lo, hi) of node indices plus the
+// scratch its worker fills each round. Buffers are truncated, never freed,
+// so steady-state rounds are allocation-free.
+type shard struct {
+	lo, hi int
+
+	evAct []Event     // EvTransmit events, ascending node order
+	lis   []listenRec // this shard's listeners, ascending node order
+	cands []int32     // flat candidate-transmitter indices, see listenRec
+
+	// dLo/dHi delimit this shard's slice of kernel.deliv after the merge.
+	dLo, dHi int
+	// newlyDone counts Done false→true transitions seen this round.
+	newlyDone int
+}
+
+// listenRec records one listener and its candidate frames: the transmitting
+// live neighbors on its channel over live links, as cands[lo:hi], in
+// ascending transmitter order — the reference loop's coin order.
+type listenRec struct {
+	node   int32
+	ch     Channel
+	lo, hi int32
+}
+
+// deliverRec is one successful reception, decided in the merge and applied
+// by the deliver phase.
+type deliverRec struct {
+	node int32
+	msg  Message
+}
+
+// kernel is the per-Run state of the three-phase engine: dense node
+// indexing, precomputed index-space adjacency, failure schedules bucketed
+// by round, and the per-shard scratch.
+type kernel struct {
+	e     *Engine
+	nodes []graph.NodeID
+	idx   map[graph.NodeID]int32
+	progs []Program
+	skews []int
+	nbrs  [][]int32 // index-space adjacency, ascending (shares one backing array)
+
+	// deadAt is the round the node dies (alive during round r iff
+	// r < deadAt); neverDies for unscheduled nodes.
+	deadAt []int
+	// doneF caches each program's last Done() value; valid because Done is
+	// pure and monotone (Program contract).
+	doneF []bool
+	// notDone counts nodes that are alive and not done — the quiescence
+	// counter replacing the reference loop's per-round rescan.
+	notDone int
+
+	// nodeFailAt / linkFailAt bucket the failure schedules by round, sorted
+	// within each round, so a round with no failures costs one map lookup
+	// instead of a rescan of the full sorted schedule.
+	nodeFailAt map[int][]graph.NodeID
+	linkFailAt map[int][]linkKey
+
+	actions                   []Action // this round's action per node index
+	awake, listens, transmits []int    // per-node counters, owned by the node's shard
+
+	shards []shard
+	deliv  []deliverRec // merged receptions, ascending node order
+}
+
+const neverDies = int(^uint(0) >> 1)
+
+// Run executes up to maxRounds rounds (1-based round numbers) and returns
+// the observed result, stopping early once every live program is Done. It
+// is the three-phase shard-parallel kernel; its Result, trace event stream
+// (including Event.Seq), obs counters and flight recordings are
+// byte-identical to RunReference for any Program set honoring the Program
+// contract, at any SetWorkers value.
+func (e *Engine) Run(maxRounds int) Result {
+	return e.newKernel().run(maxRounds)
+}
+
+func (e *Engine) newKernel() *kernel {
+	nodes := e.g.Nodes()
+	n := len(nodes)
+	k := &kernel{
+		e:         e,
+		nodes:     nodes,
+		idx:       make(map[graph.NodeID]int32, n),
+		progs:     make([]Program, n),
+		skews:     make([]int, n),
+		deadAt:    make([]int, n),
+		doneF:     make([]bool, n),
+		actions:   make([]Action, n),
+		awake:     make([]int, n),
+		listens:   make([]int, n),
+		transmits: make([]int, n),
+	}
+	for i, id := range nodes {
+		k.idx[id] = int32(i)
+		k.progs[i] = e.programs[id]
+		k.skews[i] = e.skew[id]
+		k.deadAt[i] = neverDies
+	}
+
+	// Translate the cached adjacency into dense index space once, so the
+	// resolve phase does no map lookups and never touches the graph's lazy
+	// caches from worker goroutines. One flat backing array holds all rows.
+	e.g.WarmAdjacency()
+	flat := make([]int32, 0, 2*e.g.NumEdges())
+	k.nbrs = make([][]int32, n)
+	for i, id := range nodes {
+		start := len(flat)
+		for _, v := range e.g.Neighbors(id) {
+			flat = append(flat, k.idx[v])
+		}
+		k.nbrs[i] = flat[start:len(flat):len(flat)]
+	}
+
+	// Bucket the failure schedules by round (satellite bugfix: the
+	// reference loop rescans the full sorted schedules every round). The
+	// sorted flat slices are built first so each bucket inherits the
+	// deterministic emission order.
+	nodeFails := make([]graph.NodeID, 0, len(e.nodeFail))
+	for id := range e.nodeFail {
+		nodeFails = append(nodeFails, id)
+	}
+	sort.Slice(nodeFails, func(i, j int) bool { return nodeFails[i] < nodeFails[j] })
+	k.nodeFailAt = make(map[int][]graph.NodeID, len(nodeFails))
+	for _, id := range nodeFails {
+		if r := e.nodeFail[id]; r >= 1 {
+			k.nodeFailAt[r] = append(k.nodeFailAt[r], id)
+		}
+		if i, ok := k.idx[id]; ok {
+			k.deadAt[i] = e.nodeFail[id]
+		}
+	}
+	linkFails := make([]linkKey, 0, len(e.linkFail))
+	for lk := range e.linkFail {
+		linkFails = append(linkFails, lk)
+	}
+	sort.Slice(linkFails, func(i, j int) bool {
+		if linkFails[i].a != linkFails[j].a {
+			return linkFails[i].a < linkFails[j].a
+		}
+		return linkFails[i].b < linkFails[j].b
+	})
+	k.linkFailAt = make(map[int][]linkKey, len(linkFails))
+	for _, lk := range linkFails {
+		if r := e.linkFail[lk]; r >= 1 {
+			k.linkFailAt[r] = append(k.linkFailAt[r], lk)
+		}
+	}
+
+	// Seed the quiescence counter: nodes dead before round 1 never count;
+	// everyone else counts until their program reports Done.
+	for i := range k.progs {
+		k.doneF[i] = k.progs[i].Done()
+		if !k.doneF[i] && k.deadAt[i] >= 1 {
+			k.notDone++
+		}
+	}
+
+	w := e.effectiveWorkers(n)
+	k.shards = make([]shard, w)
+	for s := 0; s < w; s++ {
+		k.shards[s] = shard{lo: s * n / w, hi: (s + 1) * n / w}
+	}
+	return k
+}
+
+func (k *kernel) run(maxRounds int) Result {
+	e := k.e
+	res := Result{
+		Awake:     make(map[graph.NodeID]int, len(k.nodes)),
+		Listens:   make(map[graph.NodeID]int, len(k.nodes)),
+		Transmits: make(map[graph.NodeID]int, len(k.nodes)),
+	}
+	for round := 1; round <= maxRounds; round++ {
+		// Scheduled failures fire first and are traced even if this very
+		// round quiesces (reference semantics).
+		for _, id := range k.nodeFailAt[round] {
+			e.emit(Event{Round: round, Kind: EvNodeFail, Node: id})
+			if i, ok := k.idx[id]; ok && !k.doneF[i] {
+				k.notDone--
+			}
+		}
+		for _, lk := range k.linkFailAt[round] {
+			e.emit(Event{Round: round, Kind: EvLinkFail, Node: lk.a, Peer: lk.b})
+		}
+		if k.notDone == 0 {
+			res.Rounds = round - 1
+			res.Quiesced = true
+			k.fill(&res)
+			return res
+		}
+
+		// Act: node-local, sharded. Merge the per-shard transmit events in
+		// shard order = ascending node order.
+		k.phase(func(sh *shard) { k.act(sh, round) })
+		for s := range k.shards {
+			sh := &k.shards[s]
+			res.Transmissions += len(sh.evAct)
+			for i := range sh.evAct {
+				e.emit(sh.evAct[i])
+			}
+		}
+
+		// Resolve: node-local, sharded; no RNG, no events yet.
+		k.phase(func(sh *shard) { k.resolve(sh, round) })
+		k.mergeResolve(round, &res)
+
+		// Deliver receptions and re-evaluate Done where it could have
+		// flipped: node-local again.
+		k.phase(func(sh *shard) { k.deliverAndDone(sh, round) })
+		for s := range k.shards {
+			k.notDone -= k.shards[s].newlyDone
+		}
+		res.Rounds = round
+	}
+	// Deaths scheduled for round maxRounds+1 precede the final quiescence
+	// check but fall outside the loop, so they emit no events (reference
+	// semantics: nodeAlive(id, maxRounds+1)).
+	for _, id := range k.nodeFailAt[maxRounds+1] {
+		if i, ok := k.idx[id]; ok && !k.doneF[i] {
+			k.notDone--
+		}
+	}
+	res.Quiesced = k.notDone == 0
+	k.fill(&res)
+	return res
+}
+
+// phase runs fn over every shard — inline for one shard, on worker
+// goroutines otherwise. The WaitGroup gives every phase boundary a
+// happens-before edge, which is what lets workers read the full actions
+// slice during resolve and lets the merge read all scratch buffers.
+func (k *kernel) phase(fn func(*shard)) {
+	if len(k.shards) == 1 {
+		fn(&k.shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(k.shards))
+	for s := range k.shards {
+		go func(sh *shard) {
+			defer wg.Done()
+			fn(sh)
+		}(&k.shards[s])
+	}
+	wg.Wait()
+}
+
+func (k *kernel) act(sh *shard, round int) {
+	sh.evAct = sh.evAct[:0]
+	for i := sh.lo; i < sh.hi; i++ {
+		if round >= k.deadAt[i] {
+			k.actions[i] = Action{}
+			continue
+		}
+		id := k.nodes[i]
+		a := k.progs[i].Act(round + k.skews[i])
+		switch a.Kind {
+		case Sleep:
+			// no cost
+		case Listen:
+			k.awake[i]++
+			k.listens[i]++
+		case Transmit:
+			k.awake[i]++
+			k.transmits[i]++
+			a.Msg.From = id
+			sh.evAct = append(sh.evAct, Event{Round: round, Kind: EvTransmit, Node: id, Channel: a.Channel, Msg: a.Msg})
+		default:
+			//lint:ignore dynlint/panics a Program returning an undefined ActionKind is a protocol bug, not an input; failing loud beats mis-accounting energy
+			panic(fmt.Sprintf("radio: node %d returned invalid action kind %d", id, a.Kind))
+		}
+		k.actions[i] = a
+	}
+}
+
+func (k *kernel) resolve(sh *shard, round int) {
+	sh.lis = sh.lis[:0]
+	sh.cands = sh.cands[:0]
+	hasLinkFails := len(k.e.linkFail) > 0
+	for i := sh.lo; i < sh.hi; i++ {
+		a := &k.actions[i]
+		if a.Kind != Listen {
+			continue
+		}
+		lo := int32(len(sh.cands))
+		for _, j := range k.nbrs[i] {
+			t := &k.actions[j]
+			// Dead nodes carry a zeroed (Sleep) action, so neighbor
+			// enumeration needs no extra liveness check; a node is never
+			// its own neighbor, so the reference loop's self-skip is
+			// structural here.
+			if t.Kind != Transmit || t.Channel != a.Channel {
+				continue
+			}
+			if hasLinkFails && !k.e.linkAlive(k.nodes[i], k.nodes[j], round) {
+				continue
+			}
+			sh.cands = append(sh.cands, j)
+		}
+		sh.lis = append(sh.lis, listenRec{node: int32(i), ch: a.Channel, lo: lo, hi: int32(len(sh.cands))})
+	}
+}
+
+// mergeResolve is the sequential heart of the determinism argument: walking
+// shards in order visits listeners in ascending node order and candidates
+// in ascending transmitter order — exactly the reference loop's order — so
+// loss coins come off the engine RNG in the same sequence and events get
+// the same Seq numbers. It is also the only place the trace hook runs, so
+// hook consumers (trace sinks, obs collectors, flight writers) stay
+// single-goroutine.
+func (k *kernel) mergeResolve(round int, res *Result) {
+	e := k.e
+	k.deliv = k.deliv[:0]
+	for s := range k.shards {
+		sh := &k.shards[s]
+		sh.dLo = len(k.deliv)
+		for _, lr := range sh.lis {
+			id := k.nodes[lr.node]
+			heard := 0
+			first := int32(-1)
+			for _, j := range sh.cands[lr.lo:lr.hi] {
+				if e.frameLost() {
+					res.Losses++
+					e.emit(Event{Round: round, Kind: EvLoss, Node: id, Peer: k.nodes[j], Channel: lr.ch, Msg: k.actions[j].Msg})
+					continue
+				}
+				if heard == 0 {
+					first = j
+				}
+				heard++
+			}
+			switch {
+			case heard == 1:
+				res.Deliveries++
+				msg := k.actions[first].Msg
+				e.emit(Event{Round: round, Kind: EvDeliver, Node: id, Peer: k.nodes[first], Channel: lr.ch, Msg: msg})
+				k.deliv = append(k.deliv, deliverRec{node: lr.node, msg: msg})
+			case heard > 1:
+				res.Collisions++
+				e.emit(Event{Round: round, Kind: EvCollision, Node: id, Channel: lr.ch})
+			}
+		}
+		sh.dHi = len(k.deliv)
+	}
+}
+
+func (k *kernel) deliverAndDone(sh *shard, round int) {
+	for _, d := range k.deliv[sh.dLo:sh.dHi] {
+		k.progs[d.node].Deliver(round+k.skews[d.node], d.msg)
+	}
+	sh.newlyDone = 0
+	for i := sh.lo; i < sh.hi; i++ {
+		if k.doneF[i] || round >= k.deadAt[i] {
+			continue
+		}
+		if k.progs[i].Done() {
+			k.doneF[i] = true
+			sh.newlyDone++
+		}
+	}
+}
+
+// fill converts the dense per-node counters into the Result maps with the
+// reference loop's shape: an Awake entry (possibly zero) for every node,
+// Listens/Transmits entries only for nodes that listened or transmitted.
+func (k *kernel) fill(res *Result) {
+	for i, id := range k.nodes {
+		res.Awake[id] = k.awake[i]
+		if k.listens[i] > 0 {
+			res.Listens[id] = k.listens[i]
+		}
+		if k.transmits[i] > 0 {
+			res.Transmits[id] = k.transmits[i]
+		}
+	}
+}

@@ -98,6 +98,24 @@ func TransmitOn(ch Channel, msg Message) Action {
 // start of each round; if the node listened and reception succeeded it calls
 // Deliver with the message before the next round's Act. Done lets the engine
 // stop early once every live node reports local termination.
+//
+// Contract (node-local state): a Program owns only its node's private
+// state. Act and Deliver must not read or write anything shared with
+// another node's Program or with the engine — no shared counters, no
+// peeking at neighbor state, no package-level RNGs (a per-node rand.Rand
+// seeded at build time is fine). Shared read-only schedule data built
+// before the run (slot tables, tour maps) is allowed as long as no Program
+// writes it. Under this contract the engine may call Act (and Deliver) for
+// *different* nodes concurrently from different goroutines; calls for one
+// node are always sequenced Act(r), Deliver(r)…, Done(), Act(r+1) with
+// happens-before edges between phases, so a Program never needs locks.
+//
+// Done must be pure (it mutates nothing, so the engine may skip or repeat
+// calls) and monotone (once it returns true it keeps returning true for
+// the rest of the run). The engine tracks quiescence with a live/not-done
+// counter instead of rescanning every node every round, so a Program that
+// "un-finishes" would be missed. Every protocol in this repository keeps
+// Done as a pure threshold on monotone local state.
 type Program interface {
 	Act(round int) Action
 	Deliver(round int, msg Message)
@@ -224,6 +242,7 @@ type Engine struct {
 	skew     map[graph.NodeID]int // node -> local clock offset in rounds
 	trace    func(Event)
 	seq      uint64 // monotonic Event.Seq counter
+	workers  int    // shard workers for Run's parallel phases; 0 = default
 
 	// lossRate drops each (transmitter, listener, round) frame
 	// independently with this probability; lossRng drives the coins.
@@ -314,9 +333,17 @@ func (e *Engine) emit(ev Event) {
 	}
 }
 
-// Run executes up to maxRounds rounds (1-based round numbers) and returns
-// the observed result. It stops early once every live program is Done.
-func (e *Engine) Run(maxRounds int) Result {
+// RunReference executes up to maxRounds rounds (1-based round numbers) with
+// the original single-loop engine and returns the observed result. It stops
+// early once every live program is Done.
+//
+// It is retained as the executable specification of the engine's semantics:
+// Run (the three-phase kernel in kernel.go) must produce a byte-identical
+// event stream and an identical Result for any Program set that honors the
+// Program contract, at any worker count. The equivalence suite and
+// FuzzEngineEquivalence diff the two; keep this loop boring and obviously
+// correct rather than fast.
+func (e *Engine) RunReference(maxRounds int) Result {
 	res := Result{
 		Awake:     make(map[graph.NodeID]int, e.g.NumNodes()),
 		Listens:   make(map[graph.NodeID]int, e.g.NumNodes()),

@@ -2,6 +2,11 @@
 // protocol timelines — the debugging view of what a broadcast actually did
 // on the air: who transmitted on which channel, who received from whom,
 // where collisions happened, and which nodes died.
+//
+// Recorders need no locking: the radio engine invokes its trace hook from
+// a single goroutine (the kernel's sequential merge phase) regardless of
+// its worker count, and the event stream — Seq numbers included — is
+// byte-identical at any radio.Engine.SetWorkers value.
 package trace
 
 import (

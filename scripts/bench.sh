@@ -2,12 +2,16 @@
 # bench.sh — run the PR2 scaling benchmarks (grid index and allocation-free
 # adjacency vs the retained all-pairs baselines) and record the numbers in
 # BENCH_PR2.json, including the derived churn/mobility replay speedups at
-# n=2000 the performance doc cites.
+# n=2000 the performance doc cites. Then run the PR5 engine-kernel
+# benchmarks (three-phase kernel vs the retained reference loop, at 1 and
+# ENGINE_GOMAXPROCS workers) and record BENCH_PR5.json with the
+# kernel-vs-reference speedups the acceptance criteria cite.
 #
 # Usage:
 #   scripts/bench.sh               # default -benchtime 2x
 #   BENCHTIME=10x scripts/bench.sh # more iterations, steadier numbers
 #   OUT=/tmp/b.json scripts/bench.sh
+#   ENGINE_GOMAXPROCS=8 scripts/bench.sh  # worker count for the PR5 leg
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,3 +69,80 @@ END {
 ' "$RAW" > "$OUT"
 
 echo "wrote $OUT" >&2
+
+# --- PR5: radio-engine kernel vs reference loop -----------------------------
+# The engine benchmarks run under a fixed GOMAXPROCS so the workers=N leg is
+# meaningful on any host; determinism is not at stake (results are
+# byte-identical at any worker count), only wall-clock time is measured.
+ENGINE_GOMAXPROCS="${ENGINE_GOMAXPROCS:-4}"
+OUT5="${OUT5:-BENCH_PR5.json}"
+RAW5="$(mktemp)"
+trap 'rm -f "$RAW" "$RAW5"' EXIT
+
+echo "running engine benchmarks (GOMAXPROCS=$ENGINE_GOMAXPROCS, -benchtime $BENCHTIME)..." >&2
+GOMAXPROCS="$ENGINE_GOMAXPROCS" go test -run '^$' \
+  -bench '^BenchmarkEngineRun$' \
+  -benchtime "$BENCHTIME" -benchmem ./internal/radio | tee "$RAW5" >&2
+
+awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" -v procs="$ENGINE_GOMAXPROCS" '
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ && NF >= 4 {
+    name = $1; iters = $2; ns = $3
+    # go test appends a "-GOMAXPROCS" suffix when procs != 1; strip it so
+    # the speedup lookups below work at any pinned worker count.
+    sub(/-[0-9]+$/, "", name)
+    bytes = ""; allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op")      bytes  = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    n++
+    names[n] = name; its[n] = iters; nss[n] = ns
+    bs[n] = bytes; as[n] = allocs
+    ns_by_name[name] = ns
+}
+END {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"gomaxprocs\": %s,\n", procs
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", names[i], its[i], nss[i]
+        if (bs[i] != "") printf ", \"bytes_per_op\": %s", bs[i]
+        if (as[i] != "") printf ", \"allocs_per_op\": %s", as[i]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ],\n"
+    printf "  \"speedups\": {\n"
+    sep = ""
+    cpuw = sprintf("workers=%s", procs)
+    for (sz_i = 1; sz_i <= 3; sz_i++) {
+        sz = (sz_i == 1 ? 2000 : (sz_i == 2 ? 10000 : 50000))
+        for (tp_i = 1; tp_i <= 2; tp_i++) {
+            tp = (tp_i == 1 ? "sparse" : "dense")
+            base = sprintf("BenchmarkEngineRun/n=%d/%s", sz, tp)
+            ref  = ns_by_name[base "/reference"]
+            w1   = ns_by_name[base "/workers=1"]
+            wp   = ns_by_name[base "/" cpuw]
+            if (ref > 0 && wp > 0) {
+                printf "%s    \"engine_run_n%d_%s_kernel_w%s_vs_reference\": %.2f", sep, sz, tp, procs, ref / wp
+                sep = ",\n"
+            }
+            if (ref > 0 && w1 > 0) {
+                printf "%s    \"engine_run_n%d_%s_kernel_w1_vs_reference\": %.2f", sep, sz, tp, ref / w1
+                sep = ",\n"
+            }
+            if (w1 > 0 && wp > 0) {
+                printf "%s    \"engine_run_n%d_%s_w%s_vs_w1\": %.2f", sep, sz, tp, procs, w1 / wp
+                sep = ",\n"
+            }
+        }
+    }
+    printf "\n  }\n}\n"
+}
+' "$RAW5" > "$OUT5"
+
+echo "wrote $OUT5" >&2

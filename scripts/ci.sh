@@ -34,11 +34,23 @@ awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t+0 >= b+0) }' || {
     exit 1
 }
 
+echo "== engine equivalence (workers matrix)"
+# The determinism proof for the shard-parallel radio kernel: the
+# equivalence suites must hold under -race at both a single-CPU schedule
+# and a genuinely parallel one (docs/architecture.md, "Determinism by
+# merge"). The tests themselves sweep engine worker counts 1/2/4/NumCPU.
+for procs in 1 4; do
+    echo "-- GOMAXPROCS=$procs"
+    GOMAXPROCS="$procs" go test -race -run 'EngineEquivalence|EngineWorkers|RunByteIdentical' \
+        ./internal/radio ./internal/broadcast
+done
+
 echo "== fuzz smoke"
 # A few seconds per fuzzer: keeps the harnesses compiling and catches
 # shallow regressions; long fuzz runs stay manual.
 go test -run '^$' -fuzz '^FuzzNetioRead$' -fuzztime 5s ./internal/netio
 go test -run '^$' -fuzz '^FuzzRecordingDecode$' -fuzztime 5s ./internal/flight
+go test -run '^$' -fuzz '^FuzzEngineEquivalence$' -fuzztime 5s ./internal/radio
 
 echo "== replay smoke"
 # Record a 200-node run with mid-broadcast failures, then replay it
