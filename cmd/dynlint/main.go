@@ -3,13 +3,17 @@
 //
 // Usage:
 //
-//	dynlint [-json] [-analyzers a,b] [pattern ...]
+//	dynlint [-json|-sarif] [-analyzers a,b] [-suppressions] [pattern ...]
 //
 // Patterns are package directories relative to the current directory;
 // "./..." (the default) covers the whole module, "./internal/..." a
 // subtree. -analyzers restricts the run to a comma-separated subset of
-// the analyzers (-list prints the catalogue). The exit status is 0 when
-// clean, 1 when findings were reported, 2 on a load error.
+// the analyzers (-list prints the catalogue). -sarif emits a SARIF 2.1.0
+// log for GitHub code scanning instead of plain text. -suppressions lists
+// every //lint:ignore directive in the matched packages (the listing
+// docs/static-analysis.md is generated from) and exits 0. The exit status
+// is otherwise 0 when clean, 1 when findings were reported, 2 on a load
+// error.
 //
 // Findings are suppressed per line with
 //
@@ -31,6 +35,8 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log (GitHub code scanning)")
+	sups := flag.Bool("suppressions", false, "list //lint:ignore directives in the matched packages and exit")
 	sel := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	flag.Parse()
@@ -48,12 +54,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *sups {
+		if err := listSuppressions(flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "dynlint: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
 	findings, err := run(flag.Args(), analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dynlint: %v\n", err)
 		os.Exit(2)
 	}
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		doc, err := lint.SARIF(findings, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynlint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s\n", doc)
+	case *jsonOut:
 		if findings == nil {
 			findings = []lint.Finding{} // encode as [], not null
 		}
@@ -63,7 +85,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dynlint: %v\n", err)
 			os.Exit(2)
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}
@@ -72,6 +94,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dynlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// listSuppressions prints every //lint:ignore directive in the matched
+// packages as "file:line: dynlint/<analyzer>: <reason>" lines, relative to
+// the working directory — the ground truth behind the suppression list in
+// docs/static-analysis.md.
+func listSuppressions(patterns []string) error {
+	kept, cwd, err := load(patterns)
+	if err != nil {
+		return err
+	}
+	for _, r := range lint.SuppressionsIn(kept) {
+		file := r.File
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Printf("%s:%d: dynlint/%s: %s\n", file, r.Line, r.Analyzer, r.Reason)
+	}
+	return nil
 }
 
 // selectAnalyzers resolves a comma-separated -analyzers value against the
@@ -98,30 +139,41 @@ func selectAnalyzers(sel string) ([]*lint.Analyzer, error) {
 	return out, nil
 }
 
-// run loads the module containing the working directory, lints it, and
-// keeps the findings matching the patterns. Positions are rewritten
-// relative to the working directory for readable, clickable output.
-func run(patterns []string, analyzers []*lint.Analyzer) ([]lint.Finding, error) {
+// load resolves the module containing the working directory and returns
+// the packages matching the patterns, plus the working directory for
+// position rewriting.
+func load(patterns []string) ([]*lint.Package, string, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	root, err := lint.ModuleRoot(cwd)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	pkgs, err := lint.Load(root)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	var kept []*lint.Package
 	for _, p := range pkgs {
 		if matchAny(root, cwd, p.RelDir, patterns) {
 			kept = append(kept, p)
 		}
+	}
+	return kept, cwd, nil
+}
+
+// run loads the module containing the working directory, lints it, and
+// keeps the findings matching the patterns. Positions are rewritten
+// relative to the working directory for readable, clickable output.
+func run(patterns []string, analyzers []*lint.Analyzer) ([]lint.Finding, error) {
+	kept, cwd, err := load(patterns)
+	if err != nil {
+		return nil, err
 	}
 	findings := lint.Run(kept, analyzers)
 	for i := range findings {

@@ -18,7 +18,8 @@ import (
 //
 // Contract compliance (radio.Program): the tour tables are written only at
 // build time; run-time state (payload, token arrivals, curRound) is
-// node-private. Done is pure and monotone: curRound only grows.
+// node-private. Done is pure and monotone: curRound only grows. Enforced
+// statically by dynlint/progpurity via the assertion below.
 type dfoNode struct {
 	id      graph.NodeID
 	tourEnd int

@@ -41,7 +41,8 @@ type PFloodOptions struct {
 //
 // Contract compliance (radio.Program): the forwarding coin and backoff are
 // drawn at build time, so run-time state is node-private; Done is a pure
-// monotone horizon threshold.
+// monotone horizon threshold. Enforced statically by dynlint/progpurity
+// via the assertion below.
 type pfloodNode struct {
 	id       graph.NodeID
 	startHas bool

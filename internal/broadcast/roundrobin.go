@@ -16,7 +16,8 @@ import (
 //
 // Contract compliance (radio.Program): slot index and phase length are
 // fixed at build time; run-time state is node-private and Done is a pure
-// monotone horizon threshold.
+// monotone horizon threshold. Enforced statically by dynlint/progpurity
+// via the assertion below.
 type rrNode struct {
 	id       graph.NodeID
 	index    int // position of id in the sorted ID list

@@ -97,6 +97,7 @@ type Result struct {
 //
 // Contract compliance (radio.Program): all state is node-private; Done is
 // a pure read of the done flag, which is set once and never cleared.
+// Enforced statically by dynlint/progpurity via the assertion below.
 type joinerProg struct {
 	id   graph.NodeID
 	opts Options
@@ -164,7 +165,8 @@ func (p *joinerProg) Done() bool { return p.done }
 // Contract compliance (radio.Program): each responder owns a private
 // rand.Rand split off the run's stream at build time, so concurrent Act
 // calls across nodes never share a coin source; acked is set once and
-// never cleared, keeping Done pure and monotone.
+// never cleared, keeping Done pure and monotone. Enforced statically by
+// dynlint/progpurity via the assertion below.
 type responderProg struct {
 	id        graph.NodeID
 	rng       *rand.Rand

@@ -169,7 +169,8 @@ func (m Metrics) String() string {
 // Contract compliance (radio.Program): the schedule and child set are
 // written only at build time; the running sum is node-private (each node
 // aggregates what *it* heard — there is no shared accumulator). Done is a
-// pure monotone threshold on the node's own schedule end.
+// pure monotone threshold on the node's own schedule end. Enforced
+// statically by dynlint/progpurity via the assertion below.
 type gatherNode struct {
 	id       graph.NodeID
 	value    int64

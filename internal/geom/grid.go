@@ -145,6 +145,9 @@ func (g *Grid) Neighbors(p Point, exclude int) []int {
 	return g.AppendNeighbors(nil, p, exclude)
 }
 
+// appendUnsorted scans the 3×3 cell block around p into dst, unsorted.
+//
+//dynlint:hotpath per-query scan; dst is the caller's buffer
 func (g *Grid) appendUnsorted(dst []int, p Point, exclude int) []int {
 	cx := g.cellCoord(p.X, g.cellW, g.cols)
 	cy := g.cellCoord(p.Y, g.cellH, g.rows)
@@ -174,6 +177,8 @@ func (g *Grid) appendUnsorted(dst []int, p Point, exclude int) []int {
 // HasNeighbor reports whether any indexed entry other than exclude lies
 // within range of p. It is the allocation-free acceptance check used by
 // incremental placement: O(1) expected at bounded density.
+//
+//dynlint:hotpath acceptance check runs per placement attempt
 func (g *Grid) HasNeighbor(p Point, exclude int) bool {
 	cx := g.cellCoord(p.X, g.cellW, g.cols)
 	cy := g.cellCoord(p.Y, g.cellH, g.rows)

@@ -119,6 +119,8 @@ func (g *Graph) NumEdges() int { return g.edges }
 // Nodes returns all node IDs in ascending order. The result is cached and
 // shared until the node set mutates: callers must not modify it. Appending
 // to it is safe (the cache is exactly sized, so append reallocates).
+//
+//dynlint:hotpath cached adjacency feeds the kernel every round
 func (g *Graph) Nodes() []NodeID {
 	if g.nodeCache != nil {
 		return g.nodeCache
@@ -137,6 +139,8 @@ func (g *Graph) Nodes() []NodeID {
 // callers must not modify it (appending is safe — the cache is exactly
 // sized, so append reallocates). On an unmutated graph repeated calls are
 // allocation-free.
+//
+//dynlint:hotpath cached adjacency feeds the kernel every round
 func (g *Graph) Neighbors(id NodeID) []NodeID {
 	if out, ok := g.nbrCache[id]; ok {
 		return out

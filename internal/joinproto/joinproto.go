@@ -204,6 +204,7 @@ func queryPhase(net *core.Network, g *graph.Graph, id graph.NodeID, nbrs []graph
 // tourNode) run on the radio engine and honor the radio.Program contract:
 // every field is node-private or written only at build time, and each
 // Done is a pure monotone threshold on the node's own round counter.
+// Enforced statically by dynlint/progpurity via these assertions.
 var (
 	_ radio.Program = (*queryJoiner)(nil)
 	_ radio.Program = (*queryResponder)(nil)

@@ -174,6 +174,8 @@ type tourNode struct {
 	cur     int
 }
 
+// The assertion also opts tourNode into dynlint/progpurity's static
+// contract check (node-local Act/Deliver, read-only Done).
 var _ radio.Program = (*tourNode)(nil)
 
 func (tn *tourNode) Act(round int) radio.Action {

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Function annotations mark code that opts into extra obligations. They are
+// written as directive comments in a function's doc block:
+//
+//	//dynlint:hotpath
+//	func (g *Grid) appendUnsorted(dst []int, p Point, exclude int) []int {
+//
+// Two annotations exist:
+//
+//	//dynlint:shardsafe — the function runs inside a shard phase of the
+//	radio kernel's parallel engine; it and everything it reaches in its
+//	package must not emit traces/obs/flight events, draw randomness, or
+//	stamp Event.Seq (those belong to the sequential merge — the
+//	determinism-by-merge proof obligation).
+//
+//	//dynlint:hotpath — the function is on a per-round/per-node hot path;
+//	loops inside it must not heap-allocate per iteration.
+//
+// Anything after the annotation name on the same line is a free-form note.
+// Unknown names and annotations placed anywhere but a function's doc block
+// are reported (dynlint/lintdirective), so annotations cannot silently rot.
+
+// annotationPrefix starts a function annotation comment.
+const annotationPrefix = "//dynlint:"
+
+// knownAnnotations lists the valid annotation names.
+var knownAnnotations = map[string]bool{
+	"hotpath":   true,
+	"shardsafe": true,
+}
+
+// funcAnnotations returns the annotation names present in fd's doc block.
+func funcAnnotations(fd *ast.FuncDecl) map[string]bool {
+	if fd.Doc == nil {
+		return nil
+	}
+	var out map[string]bool
+	for _, c := range fd.Doc.List {
+		name, ok := annotationName(c)
+		if !ok || !knownAnnotations[name] {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]bool, 1)
+		}
+		out[name] = true
+	}
+	return out
+}
+
+// annotated returns the function declarations in p (non-test files) whose
+// doc block carries the named annotation, in source order.
+func annotated(p *Package, name string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && funcAnnotations(fd)[name] {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// annotationName parses a //dynlint:<name> comment, reporting ok=false for
+// comments that are not annotations at all.
+func annotationName(c *ast.Comment) (string, bool) {
+	rest, ok := strings.CutPrefix(c.Text, annotationPrefix)
+	if !ok {
+		return "", false
+	}
+	name, _, _ := strings.Cut(rest, " ")
+	return strings.TrimSpace(name), true
+}
+
+// annotationFindings validates every //dynlint: directive in the file:
+// unknown names are typos that would silently annotate nothing, and known
+// names outside a function's doc block silently bind to nothing; both are
+// reported so the annotation layer stays trustworthy.
+func annotationFindings(fset *token.FileSet, file *ast.File) []Finding {
+	attached := make(map[*ast.Comment]bool)
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			attached[c] = true
+		}
+	}
+	var out []Finding
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			name, ok := annotationName(c)
+			if !ok {
+				continue
+			}
+			switch {
+			case !knownAnnotations[name]:
+				out = append(out, Finding{
+					Analyzer: "lintdirective",
+					Pos:      fset.Position(c.Pos()),
+					Message:  fmt.Sprintf("unknown annotation %s%s (have hotpath, shardsafe)", annotationPrefix, name),
+				})
+			case !attached[c]:
+				out = append(out, Finding{
+					Analyzer: "lintdirective",
+					Pos:      fset.Position(c.Pos()),
+					Message:  fmt.Sprintf("%s%s is not in a function's doc block and annotates nothing", annotationPrefix, name),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// callGraph is the package-local static call graph: an edge from a
+// declaration to every same-package function or method it calls directly.
+// Calls through interfaces (e.g. Program.Act) and into other packages have
+// no local declaration and terminate the walk — shardsafe flags the
+// dangerous cross-package calls at the call site instead, and progpurity
+// dispatches over every Program implementation explicitly.
+type callGraph struct {
+	p *Package
+	// decls maps each declared function object to its syntax.
+	decls map[*types.Func]*ast.FuncDecl
+	// callees lists, per declaration, the same-package declarations it
+	// calls, in source order of the call sites.
+	callees map[*ast.FuncDecl][]*ast.FuncDecl
+}
+
+// newCallGraph builds the call graph for a type-checked package.
+func newCallGraph(p *Package) *callGraph {
+	g := &callGraph{
+		p:       p,
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		callees: make(map[*ast.FuncDecl][]*ast.FuncDecl),
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				g.decls[obj] = fd
+			}
+		}
+	}
+	for _, fd := range g.sortedDecls() {
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee, ok := g.decls[calleeFunc(p, call)]; ok {
+				g.callees[fd] = append(g.callees[fd], callee)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// sortedDecls returns every declaration in source-position order, so walks
+// that aggregate over the graph stay deterministic.
+func (g *callGraph) sortedDecls() []*ast.FuncDecl {
+	out := make([]*ast.FuncDecl, 0, len(g.decls))
+	for _, fd := range g.decls {
+		out = append(out, fd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// reachable returns the declarations reachable from the roots through
+// same-package calls, including the roots themselves.
+func (g *callGraph) reachable(roots ...*ast.FuncDecl) map[*ast.FuncDecl]bool {
+	seen := make(map[*ast.FuncDecl]bool)
+	var visit func(fd *ast.FuncDecl)
+	visit = func(fd *ast.FuncDecl) {
+		if fd == nil || seen[fd] {
+			return
+		}
+		seen[fd] = true
+		for _, c := range g.callees[fd] {
+			visit(c)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}
+
+// sortReachable flattens a reachable set into source-position order.
+func sortReachable(set map[*ast.FuncDecl]bool) []*ast.FuncDecl {
+	out := make([]*ast.FuncDecl, 0, len(set))
+	for fd := range set {
+		out = append(out, fd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// calleeFunc resolves a call expression to the function or method object it
+// invokes, nil when the callee is not a statically known *types.Func (a
+// builtin, a conversion, a function-typed variable, ...).
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

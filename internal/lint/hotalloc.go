@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc flags per-iteration heap allocations inside loops of functions
+// annotated //dynlint:hotpath — kernel phases, cached-adjacency and grid
+// queries, timeslot scratch paths. These run once per node per round, so a
+// single allocating expression in a loop turns into millions of allocations
+// at the roadmap's n=10⁶ target. Flagged inside any loop of a hotpath
+// function:
+//
+//   - map, slice and &struct composite literals, make(...) and new(...);
+//   - fmt.Sprintf/Sprint/Sprintln/Errorf (allocate their result);
+//   - function literals (closures allocate their capture environment);
+//   - append to a slice declared inside the loop (grows a fresh backing
+//     array every iteration instead of reusing a caller-provided buffer).
+//
+// Arguments of a panic call are exempt: a crash formats once, not per
+// iteration. The fix is the repo's established scratch-buffer idiom —
+// append-to-dst APIs and per-worker reusable buffers (see geom.Grid and
+// timeslot's setBuf).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flags per-iteration heap allocations (composite literals, make, " +
+		"Sprintf, closures, append to fresh slices) in loops of //dynlint:hotpath functions",
+	Run: runHotAlloc,
+}
+
+// sprintLike are the fmt functions that allocate their formatted result.
+var sprintLike = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+func runHotAlloc(p *Package) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	seen := make(map[token.Pos]bool) // nested loops scan overlapping bodies; report once
+	report := func(n ast.Node, format string, args ...interface{}) {
+		if seen[n.Pos()] {
+			return
+		}
+		seen[n.Pos()] = true
+		out = append(out, Finding{
+			Analyzer: "hotalloc",
+			Pos:      p.Fset.Position(n.Pos()),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, fd := range annotated(p, "hotpath") {
+		if fd.Body == nil {
+			continue
+		}
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			checkLoopBody(p, name, body, report)
+			return true
+		})
+	}
+	return out
+}
+
+// checkLoopBody walks one loop body flagging allocating expressions.
+func checkLoopBody(p *Package, fn string, body *ast.BlockStmt,
+	report func(ast.Node, string, ...interface{})) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			switch p.Info.Types[x].Type.Underlying().(type) {
+			case *types.Map:
+				report(x, "map literal allocates every iteration of a loop in //dynlint:hotpath %s; "+
+					"hoist it or reuse a cleared scratch map", fn)
+			case *types.Slice:
+				report(x, "slice literal allocates every iteration of a loop in //dynlint:hotpath %s; "+
+					"hoist it or use a caller-provided buffer", fn)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x, "&composite literal escapes to the heap every iteration of a loop in "+
+						"//dynlint:hotpath %s; hoist the value or reuse one", fn)
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			report(x, "function literal allocates its capture environment every iteration of a loop in "+
+				"//dynlint:hotpath %s; hoist the closure or pass state explicitly", fn)
+			return false
+		case *ast.CallExpr:
+			return checkLoopCall(p, fn, x, report)
+		}
+		return true
+	})
+}
+
+// checkLoopCall flags allocating calls; it returns false to skip the
+// argument subtree of panic (crash formatting is not per-iteration cost).
+func checkLoopCall(p *Package, fn string, call *ast.CallExpr,
+	report func(ast.Node, string, ...interface{})) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "panic":
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return false
+			}
+		case "make":
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				report(call, "make allocates every iteration of a loop in //dynlint:hotpath %s; "+
+					"hoist it or reuse a scratch buffer", fn)
+				return true
+			}
+		case "new":
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				report(call, "new allocates every iteration of a loop in //dynlint:hotpath %s; "+
+					"hoist the value", fn)
+				return true
+			}
+		case "append":
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				checkFreshAppend(p, fn, call, report)
+				return true
+			}
+		}
+	}
+	if pkg, name := pkgFunc(p, call); pkg == "fmt" && sprintLike[name] {
+		report(call, "fmt.%s allocates its result every iteration of a loop in //dynlint:hotpath %s; "+
+			"format outside the loop or use an append-style API", name, fn)
+	}
+	return true
+}
+
+// checkFreshAppend flags append whose destination slice is declared inside
+// the enclosing loop body: its backing array is reallocated every iteration,
+// where the repo idiom is a caller-provided dst (see geom.Grid.appendUnsorted).
+func checkFreshAppend(p *Package, fn string, call *ast.CallExpr,
+	report func(ast.Node, string, ...interface{})) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := p.Info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	// The destination is loop-local when its declaration sits between the
+	// call's enclosing loop start and the call itself; a conservative
+	// approximation that needs no scope walk: declared after the function's
+	// first loop token yet before this use, and not a parameter.
+	if v.Pos() > call.Pos() || v.Pos() == token.NoPos {
+		return
+	}
+	if declaredInLoop(p, v, call) {
+		report(call, "append to %s grows a slice declared inside the loop every iteration in "+
+			"//dynlint:hotpath %s; take a caller-provided dst or hoist the slice", id.Name, fn)
+	}
+}
+
+// declaredInLoop reports whether v's declaration lies inside the innermost
+// loop body that also contains the call.
+func declaredInLoop(p *Package, v *types.Var, call *ast.CallExpr) bool {
+	for _, f := range p.Files {
+		if f.Pos() > call.Pos() || f.End() < call.End() {
+			continue
+		}
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			if body.Pos() <= call.Pos() && call.End() <= body.End() &&
+				body.Pos() <= v.Pos() && v.Pos() <= body.End() {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

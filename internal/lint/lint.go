@@ -59,6 +59,9 @@ var All = []*Analyzer{
 	MutVerify,
 	Panics,
 	APIHygiene,
+	ProgPurity,
+	ShardSafe,
+	HotAlloc,
 }
 
 // ignorePrefix starts a suppression comment.
@@ -109,6 +112,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			s, bad := suppressions(p.Fset, f)
 			sups = append(sups, s...)
 			out = append(out, bad...)
+			out = append(out, annotationFindings(p.Fset, f)...)
 		}
 		suppressed := func(f Finding) bool {
 			for _, s := range sups {
@@ -140,7 +144,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return out
 }

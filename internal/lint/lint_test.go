@@ -66,7 +66,7 @@ func findingsByLine(fs []Finding) map[string][]string {
 // no misses, no extras (the extras check is what keeps the heuristics from
 // drifting into noise).
 func TestAnalyzersOnFixtures(t *testing.T) {
-	for _, name := range []string{"nondet", "uncheckederr", "mutverify", "panicfix", "apihygiene"} {
+	for _, name := range []string{"nondet", "uncheckederr", "mutverify", "panicfix", "apihygiene", "progpurity", "shardsafe", "hotalloc"} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)
 			p, err := LoadDir(dir, "internal/"+name)
@@ -108,6 +108,99 @@ func TestBareSuppressionIsReported(t *testing.T) {
 	for _, f := range fs {
 		if f.Analyzer == "panics" && fs[0].Pos.Line+1 != f.Pos.Line {
 			t.Errorf("panic finding at line %d, directive at %d; bare directive must not suppress", f.Pos.Line, fs[0].Pos.Line)
+		}
+	}
+}
+
+// TestShardsafeModuleFixture loads the testdata mini-module with its own
+// go.mod and real package structure (kernel importing its own
+// internal/trace) and checks that the shardsafe walk flags the trace call
+// two hops below the annotated phase, with forbidden packages matched by
+// import-path suffix rather than by the repo's module path.
+func TestShardsafeModuleFixture(t *testing.T) {
+	root := filepath.Join("testdata", "src", "shardsafemod")
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fixtureWants(t, filepath.Join(root, "kernel"))
+	for key, analyzers := range fixtureWants(t, filepath.Join(root, "internal", "trace")) {
+		want[key] = analyzers
+	}
+	if len(want) == 0 {
+		t.Fatal("no want markers in shardsafemod fixture")
+	}
+	got := findingsByLine(Run(pkgs, All))
+	for key, analyzers := range want {
+		if strings.Join(got[key], ",") != strings.Join(analyzers, ",") {
+			t.Errorf("%s: want findings %v, got %v", key, analyzers, got[key])
+		}
+	}
+	for key, analyzers := range got {
+		if len(want[key]) == 0 {
+			t.Errorf("%s: unexpected findings %v", key, analyzers)
+		}
+	}
+}
+
+// TestFixturesLoad parses and type-checks every fixture directory under
+// testdata/src, so fixtures cannot bit-rot uncompiled: the go tool ignores
+// testdata, making this test (also run by the CI fuzz-smoke step) the only
+// thing that keeps them buildable.
+func TestFixturesLoad(t *testing.T) {
+	src := filepath.Join("testdata", "src")
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(src, e.Name())
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			if _, err := Load(dir); err != nil {
+				t.Errorf("Load(%s): %v", dir, err)
+			}
+			continue
+		}
+		if _, err := LoadDir(dir, "internal/"+e.Name()); err != nil {
+			t.Errorf("LoadDir(%s): %v", dir, err)
+		}
+	}
+}
+
+// TestSuppressionCountMatchesDocs pins docs/static-analysis.md to the
+// tree's actual //lint:ignore directives: the doc must state the exact
+// count and name every suppressed file, so the list regenerated with
+// `dynlint -suppressions` cannot drift silently again.
+func TestSuppressionCountMatchesDocs(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := SuppressionsIn(pkgs)
+	doc, err := os.ReadFile(filepath.Join(root, "docs", "static-analysis.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	claim := fmt.Sprintf("carries %d suppressions", len(recs))
+	if !strings.Contains(text, claim) {
+		t.Errorf("docs/static-analysis.md does not state %q; regenerate the list with `go run ./cmd/dynlint -suppressions ./...`", claim)
+	}
+	for _, r := range recs {
+		rel, err := filepath.Rel(root, r.File)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel = filepath.ToSlash(rel)
+		if !strings.Contains(text, rel) {
+			t.Errorf("suppression in %s (line %d, dynlint/%s) is not listed in docs/static-analysis.md", rel, r.Line, r.Analyzer)
 		}
 	}
 }

@@ -1,0 +1,381 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ProgPurity enforces the radio.Program contract statically for every type
+// with a compile-time assertion `var _ ...Program = ...`. The shard-parallel
+// kernel calls Act and Deliver for different nodes concurrently and tracks
+// quiescence with a counter fed by cached Done values, so the contract
+// (node-local state, pure monotone Done) is load-bearing for both memory
+// safety and the determinism-by-merge guarantee. The analyzer checks, over
+// each Program method and every same-package function it reaches:
+//
+//   - Act/Deliver touch no mutable package-level variable (one written
+//     anywhere in function bodies of the package). Shared *read-only*
+//     schedule tables built before the run are what the contract permits,
+//     so package variables that are never assigned outside declarations
+//     stay usable.
+//   - Act/Deliver consult no wall clock and no package-global math/rand
+//     stream (a per-node seeded *rand.Rand field is fine).
+//   - Act/Deliver/Done never reference another Program value (a field or
+//     variable of a Program-asserted type other than the method's own
+//     receiver) — peeking at a neighbor's state voids node-locality.
+//   - Done mutates nothing through the receiver, directly or via
+//     same-receiver helpers: the engine may skip or repeat Done calls.
+var ProgPurity = &Analyzer{
+	Name: "progpurity",
+	Doc: "verifies Program-contract compliance: Act/Deliver touch no mutable " +
+		"package state, wall clock or global RNG; no method reaches another " +
+		"Program's state; Done is read-only",
+	Run: runProgPurity,
+}
+
+func runProgPurity(p *Package) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	progs := programTypes(p)
+	if len(progs) == 0 {
+		return nil
+	}
+	cg := newCallGraph(p)
+	mutated := mutatedPackageVars(p)
+
+	// Collect each Program type's declared methods.
+	type typeMethods struct {
+		named *types.Named
+		byNm  map[string]*ast.FuncDecl
+	}
+	var tms []typeMethods
+	for _, named := range sortedNamed(progs) {
+		tm := typeMethods{named: named, byNm: make(map[string]*ast.FuncDecl)}
+		for _, fd := range cg.sortedDecls() {
+			if fd.Recv == nil {
+				continue
+			}
+			if recvNamed(p, fd) == named {
+				tm.byNm[fd.Name.Name] = fd
+			}
+		}
+		tms = append(tms, tm)
+	}
+
+	var out []Finding
+	reported := make(map[token.Pos]bool) // helper nodes shared by several Programs report once
+	report := func(n ast.Node, format string, args ...interface{}) {
+		if reported[n.Pos()] {
+			return
+		}
+		reported[n.Pos()] = true
+		out = append(out, Finding{
+			Analyzer: "progpurity",
+			Pos:      p.Fset.Position(n.Pos()),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	for _, tm := range tms {
+		tname := tm.named.Obj().Name()
+		var roots []*ast.FuncDecl
+		for _, name := range []string{"Act", "Deliver"} {
+			if fd := tm.byNm[name]; fd != nil {
+				roots = append(roots, fd)
+			}
+		}
+		for _, fd := range sortReachable(cg.reachable(roots...)) {
+			checkNodeLocal(p, fd, tname, mutated, report)
+		}
+		for _, name := range []string{"Act", "Deliver", "Done"} {
+			if fd := tm.byNm[name]; fd != nil {
+				checkNoProgramRefs(p, fd, progs, tname, report)
+			}
+		}
+		if done := tm.byNm["Done"]; done != nil {
+			if via := mutatesViaReceiver(p, tm.byNm, "Done"); via != "" {
+				msg := "(%s).Done mutates receiver state%s; the Program contract requires Done " +
+					"to be pure (the engine caches it and may skip or repeat calls) — move the " +
+					"mutation into Act or Deliver"
+				report(done, msg, tname, via)
+			}
+		}
+	}
+	return out
+}
+
+// checkNodeLocal flags mutable-package-state, wall-clock and global-RNG use
+// inside one function reached from a Program's Act or Deliver.
+func checkNodeLocal(p *Package, fd *ast.FuncDecl, tname string, mutated map[*types.Var]bool,
+	report func(ast.Node, string, ...interface{})) {
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			pkg, name := pkgFunc(p, x)
+			switch {
+			case pkg == "math/rand" && !randConstructors[name]:
+				report(x, "%s's Act/Deliver reaches package-global math/rand.%s; draw from a per-node "+
+					"seeded *rand.Rand built before the run (Program contract)", tname, name)
+			case pkg == "time" && timeBanned[name]:
+				report(x, "%s's Act/Deliver reaches wall-clock time.%s; Programs see only the round "+
+					"number the engine passes them (Program contract)", tname, name)
+			}
+		case *ast.Ident:
+			v, ok := p.Info.Uses[x].(*types.Var)
+			if !ok || !mutated[v] {
+				return true
+			}
+			report(x, "%s's Act/Deliver touches mutable package-level state %s; Program state must be "+
+				"node-local (shared data is allowed only if nothing writes it after build time)", tname, v.Name())
+		}
+		return true
+	})
+}
+
+// checkNoProgramRefs flags expressions whose type is (a pointer to) a
+// Program-asserted type, other than the method's own receiver: holding a
+// reference to another node's Program is exactly the neighbor-state peeking
+// the contract forbids.
+func checkNoProgramRefs(p *Package, fd *ast.FuncDecl, progs map[*types.Named]bool, tname string,
+	report func(ast.Node, string, ...interface{})) {
+	if fd.Body == nil {
+		return
+	}
+	var recvObj types.Object
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recvObj = p.Info.Defs[fd.Recv.List[0].Names[0]]
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		if id, ok := e.(*ast.Ident); ok && recvObj != nil && p.Info.Uses[id] == recvObj {
+			return true
+		}
+		tv, ok := p.Info.Types[e]
+		if !ok {
+			return true
+		}
+		if named := namedOf(tv.Type); named != nil && progs[named] {
+			report(e, "%s's %s references a %s value that is not the method's receiver; a Program owns "+
+				"only its node's private state (Program contract)", tname, fd.Name.Name, named.Obj().Name())
+			return false
+		}
+		return true
+	})
+}
+
+// mutatesViaReceiver reports how the named method of a Program type mutates
+// receiver state: "" when it does not, " directly" for mutations in its own
+// body, or " via (...)" naming the same-receiver helper chain's first hop.
+func mutatesViaReceiver(p *Package, methods map[string]*ast.FuncDecl, root string) string {
+	direct := make(map[string]bool, len(methods))
+	calls := make(map[string][]string, len(methods))
+	names := make([]string, 0, len(methods))
+	for name := range methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fd := methods[name]
+		recv := recvIdentName(fd)
+		if recv == "" || recv == "_" || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if exprRoot(lhs) == recv {
+						direct[name] = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if exprRoot(x.X) == recv {
+					direct[name] = true
+				}
+			case *ast.CallExpr:
+				if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "delete" && len(x.Args) > 0 {
+					if exprRoot(x.Args[0]) == recv {
+						direct[name] = true
+					}
+				}
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+						calls[name] = append(calls[name], sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	if direct[root] {
+		return " directly"
+	}
+	seen := map[string]bool{root: true}
+	frontier := append([]string{}, calls[root]...)
+	for len(frontier) > 0 {
+		name := frontier[0]
+		frontier = frontier[1:]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if direct[name] {
+			return fmt.Sprintf(" via %s", name)
+		}
+		frontier = append(frontier, calls[name]...)
+	}
+	return ""
+}
+
+// programTypes finds the package's Program implementations: the RHS types
+// of compile-time assertions `var _ <pkg.>Program = <expr>` whose asserted
+// interface is named Program and whose implementation is declared locally.
+func programTypes(p *Package) map[*types.Named]bool {
+	out := make(map[*types.Named]bool)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "_" ||
+					vs.Type == nil || len(vs.Values) != 1 {
+					continue
+				}
+				if !isProgramTypeExpr(vs.Type) {
+					continue
+				}
+				tv, ok := p.Info.Types[vs.Values[0]]
+				if !ok {
+					continue
+				}
+				if named := namedOf(tv.Type); named != nil && named.Obj().Pkg() == p.Types {
+					out[named] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isProgramTypeExpr matches the asserted interface: `Program` or
+// `pkg.Program`.
+func isProgramTypeExpr(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name == "Program"
+	case *ast.SelectorExpr:
+		return t.Sel.Name == "Program"
+	}
+	return false
+}
+
+// namedOf unwraps pointers down to a named type, nil otherwise.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// recvNamed resolves a method's receiver base type.
+func recvNamed(p *Package, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := p.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	return namedOf(tv.Type)
+}
+
+// sortedNamed orders a named-type set by source position.
+func sortedNamed(set map[*types.Named]bool) []*types.Named {
+	out := make([]*types.Named, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Obj().Pos() < out[j].Obj().Pos() })
+	return out
+}
+
+// mutatedPackageVars collects the package-level variables assigned anywhere
+// in a function body: those are the package's mutable state. Variables only
+// initialized in their declarations are shared read-only data, which the
+// Program contract permits.
+func mutatedPackageVars(p *Package) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	pkgScope := p.Types.Scope()
+	mark := func(e ast.Expr) {
+		root := rootIdent(e)
+		if root == nil {
+			return
+		}
+		if v, ok := p.Info.Uses[root].(*types.Var); ok && v.Parent() == pkgScope {
+			out[v] = true
+		}
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						mark(lhs)
+					}
+				case *ast.IncDecStmt:
+					mark(x.X)
+				case *ast.CallExpr:
+					if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "delete" && len(x.Args) > 0 {
+						mark(x.Args[0])
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// rootIdent returns the leftmost identifier of a selector/index/star chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/ast"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// sarifLog is a minimal SARIF 2.1.0 document.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+// sarifRun is the single run of the log.
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+// sarifTool names the driver and its rule catalogue.
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+// sarifDriver describes dynlint itself.
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	URI   string      `json:"informationUri"`
+	Rules []sarifRule `json:"rules"`
+}
+
+// sarifRule is one analyzer in the catalogue.
+type sarifRule struct {
+	ID   string    `json:"id"`
+	Name string    `json:"name"`
+	Desc sarifText `json:"shortDescription"`
+}
+
+// sarifText wraps a plain-text message.
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+// sarifResult is one finding.
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+// sarifLocation pins a result to file:line:col.
+type sarifLocation struct {
+	Physical sarifPhysical `json:"physicalLocation"`
+}
+
+// sarifPhysical is the artifact+region pair of a location.
+type sarifPhysical struct {
+	Artifact sarifArtifact `json:"artifactLocation"`
+	Region   sarifRegion   `json:"region"`
+}
+
+// sarifArtifact is the file a result points into.
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+// sarifRegion is the 1-based position inside the artifact.
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIF encodes findings as a minimal SARIF 2.1.0 log, the format GitHub
+// code scanning ingests, so dynlint findings annotate pull requests inline.
+// Rules come from the analyzer catalogue plus the implicit lintdirective
+// rule for malformed suppressions/annotations; result locations use
+// forward-slash paths (expected relative to the repository root — rewrite
+// Finding.Pos.Filename before calling, as cmd/dynlint does).
+func SARIF(findings []Finding, analyzers []*Analyzer) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID: "dynlint/" + a.Name, Name: a.Name, Desc: sarifText{Text: a.Doc},
+		})
+	}
+	rules = append(rules, sarifRule{
+		ID: "dynlint/lintdirective", Name: "lintdirective",
+		Desc: sarifText{Text: "reports malformed //lint:ignore suppressions and //dynlint: annotations"},
+	})
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  "dynlint/" + f.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{Physical: sarifPhysical{
+				Artifact: sarifArtifact{URI: filepath.ToSlash(f.Pos.Filename)},
+				Region:   sarifRegion{StartLine: max(f.Pos.Line, 1), StartColumn: max(f.Pos.Column, 1)},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "dynlint", URI: "docs/static-analysis.md", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&log, "", "  ")
+}
+
+// SuppressionRecord is one //lint:ignore directive found in the tree, for
+// the -suppressions listing that keeps docs/static-analysis.md honest.
+type SuppressionRecord struct {
+	// Analyzer is the suppressed analyzer name (after dynlint/).
+	Analyzer string `json:"analyzer"`
+	// File is the file path as loaded (absolute until the caller rewrites).
+	File string `json:"file"`
+	// Line is the directive's own line.
+	Line int `json:"line"`
+	// Reason is the mandatory justification text.
+	Reason string `json:"reason"`
+}
+
+// SuppressionsIn lists every well-formed suppression in the packages
+// (test files included), sorted by file and line. Malformed (reason-less)
+// directives are excluded here — Run reports those as lintdirective
+// findings instead.
+func SuppressionsIn(pkgs []*Package) []SuppressionRecord {
+	var out []SuppressionRecord
+	for _, p := range pkgs {
+		for _, f := range append(append([]*ast.File{}, p.Files...), p.TestFiles...) {
+			sups, _ := suppressions(p.Fset, f)
+			name := p.Fset.Position(f.Pos()).Filename
+			for _, s := range sups {
+				out = append(out, SuppressionRecord{
+					Analyzer: s.analyzer,
+					File:     name,
+					Line:     s.line,
+					Reason:   strings.TrimSpace(s.reason),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}

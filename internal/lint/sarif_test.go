@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestSARIFEncoding checks the SARIF log is valid JSON with the shape
+// GitHub code scanning requires: schema/version, a dynlint driver whose
+// rules cover every analyzer plus lintdirective, and results carrying
+// rule IDs, messages and 1-based forward-slash locations.
+func TestSARIFEncoding(t *testing.T) {
+	findings := []Finding{
+		{
+			Analyzer: "shardsafe",
+			Pos:      token.Position{Filename: "internal/radio/kernel.go", Line: 42, Column: 3},
+			Message:  "coin drawn in shard phase",
+		},
+		{
+			Analyzer: "lintdirective",
+			Pos:      token.Position{Filename: "internal/obs/obs.go"}, // zero line/col must clamp to 1
+			Message:  "bare suppression",
+		},
+	}
+	data, err := SARIF(findings, All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					Physical struct {
+						Artifact struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version %q schema %q; want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "dynlint" {
+		t.Errorf("driver name %q, want dynlint", run.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool, len(run.Tool.Driver.Rules))
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, a := range All {
+		if !ruleIDs["dynlint/"+a.Name] {
+			t.Errorf("rule dynlint/%s missing from driver rules", a.Name)
+		}
+	}
+	if !ruleIDs["dynlint/lintdirective"] {
+		t.Error("rule dynlint/lintdirective missing from driver rules")
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "dynlint/shardsafe" || first.Level != "error" || first.Message.Text != "coin drawn in shard phase" {
+		t.Errorf("unexpected first result: %+v", first)
+	}
+	loc := first.Locations[0].Physical
+	if loc.Artifact.URI != "internal/radio/kernel.go" || loc.Region.StartLine != 42 || loc.Region.StartColumn != 3 {
+		t.Errorf("unexpected first location: %+v", loc)
+	}
+	clamped := run.Results[1].Locations[0].Physical.Region
+	if clamped.StartLine != 1 || clamped.StartColumn != 1 {
+		t.Errorf("zero position must clamp to 1:1, got %d:%d", clamped.StartLine, clamped.StartColumn)
+	}
+}
+
+// TestSuppressionsIn checks the listing finds the known fixture directive
+// with its analyzer, line and reason intact.
+func TestSuppressionsIn(t *testing.T) {
+	p, err := LoadDir("testdata/src/progpurity", "internal/progpurity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := SuppressionsIn([]*Package{p})
+	if len(recs) != 1 {
+		t.Fatalf("got %d suppressions, want 1: %+v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.Analyzer != "progpurity" || !strings.HasSuffix(r.File, "progpurity.go") || !strings.Contains(r.Reason, "audit counter") {
+		t.Errorf("unexpected record: %+v", r)
+	}
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ShardSafe enforces the determinism-by-merge rule: functions annotated
+// //dynlint:shardsafe run concurrently across shards inside the radio
+// kernel's phase engine, so every observable side effect — trace/obs/flight
+// emission, RNG draws, Event.Seq stamping — must stay in the sequential
+// merge. The analyzer walks the same-package call graph from each annotated
+// function and flags, anywhere in the reachable set:
+//
+//   - calls into internal/trace, internal/obs or internal/flight (their
+//     output order would depend on shard interleaving);
+//   - any *rand.Rand method call or package-global math/rand draw (coin
+//     order is part of the deterministic replay contract; the merge owns
+//     the loss RNG);
+//   - writes to an Event's Seq field (sequence numbers are stamped by the
+//     merge's emit path, once, in merge order).
+//
+// Calls that leave the package through an interface or into a third package
+// are not followed; the forbidden packages are matched at the call site, so
+// an indirect escape through a helper package would need that package's own
+// annotations — keep shard-phase logic in the kernel's package.
+var ShardSafe = &Analyzer{
+	Name: "shardsafe",
+	Doc: "forbids trace/obs/flight calls, RNG use and Event.Seq writes in code " +
+		"reachable from //dynlint:shardsafe functions (merge-only effects)",
+	Run: runShardSafe,
+}
+
+// shardForbiddenPkgs are the import-path suffixes whose calls must stay in
+// the merge. Suffix matching keeps the analyzer exercisable from fixture
+// modules with their own module paths.
+var shardForbiddenPkgs = []string{"internal/trace", "internal/obs", "internal/flight"}
+
+func runShardSafe(p *Package) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	roots := annotated(p, "shardsafe")
+	if len(roots) == 0 {
+		return nil
+	}
+	cg := newCallGraph(p)
+	var out []Finding
+	seen := make(map[string]bool) // shared helpers reachable from several roots report once
+	report := func(n ast.Node, format string, args ...interface{}) {
+		msg := fmt.Sprintf(format, args...)
+		key := fmt.Sprintf("%d/%s", n.Pos(), msg)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, Finding{
+			Analyzer: "shardsafe",
+			Pos:      p.Fset.Position(n.Pos()),
+			Message:  msg,
+		})
+	}
+	for _, fd := range sortReachable(cg.reachable(roots...)) {
+		checkShardSafe(p, fd, report)
+	}
+	return out
+}
+
+func checkShardSafe(p *Package, fd *ast.FuncDecl, report func(ast.Node, string, ...interface{})) {
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkShardCall(p, fd, x, report)
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				checkSeqWrite(p, fd, lhs, report)
+			}
+		case *ast.IncDecStmt:
+			checkSeqWrite(p, fd, x.X, report)
+		}
+		return true
+	})
+}
+
+// checkShardCall flags forbidden callees at a shard-phase call site.
+func checkShardCall(p *Package, fd *ast.FuncDecl, call *ast.CallExpr,
+	report func(ast.Node, string, ...interface{})) {
+	callee := calleeFunc(p, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	path := callee.Pkg().Path()
+	for _, sfx := range shardForbiddenPkgs {
+		if path == sfx || strings.HasSuffix(path, "/"+sfx) {
+			report(call, "%s runs in a shard phase (reachable from //dynlint:shardsafe) but calls %s.%s; "+
+				"trace/obs/flight effects belong to the sequential merge (determinism-by-merge)",
+				fd.Name.Name, callee.Pkg().Name(), callee.Name())
+			return
+		}
+	}
+	if path != "math/rand" {
+		return
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		report(call, "%s runs in a shard phase (reachable from //dynlint:shardsafe) but draws from a "+
+			"*rand.Rand; coin order is merge-owned (determinism-by-merge)", fd.Name.Name)
+		return
+	}
+	if !randConstructors[callee.Name()] {
+		report(call, "%s runs in a shard phase (reachable from //dynlint:shardsafe) but calls global "+
+			"math/rand.%s; coin order is merge-owned (determinism-by-merge)", fd.Name.Name, callee.Name())
+	}
+}
+
+// checkSeqWrite flags assignments to an Event's Seq field.
+func checkSeqWrite(p *Package, fd *ast.FuncDecl, lhs ast.Expr,
+	report func(ast.Node, string, ...interface{})) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Seq" {
+		return
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok {
+		return
+	}
+	if named := namedOf(tv.Type); named != nil && named.Obj().Name() == "Event" {
+		report(lhs, "%s runs in a shard phase (reachable from //dynlint:shardsafe) but writes Event.Seq; "+
+			"sequence numbers are stamped exclusively by the merge's emit path (determinism-by-merge)",
+			fd.Name.Name)
+	}
+}

@@ -1,0 +1,85 @@
+package hotalloc
+
+import "fmt"
+
+// pair is a tiny record used to demonstrate pointer escapes.
+type pair struct {
+	a, b int
+}
+
+// sink keeps loop results alive so the fixture type-checks; the misplaced
+// annotation below must be reported, not silently ignored.
+func sink(n int) {
+	//dynlint:hotpath // want dynlint/lintdirective
+	_ = n
+}
+
+// bad allocates in every flagged way inside its loops.
+//
+//dynlint:hotpath
+func bad(vals []int) int {
+	total := 0
+	for i, v := range vals {
+		m := map[int]bool{v: true}   // want dynlint/hotalloc
+		s := []int{v, v}             // want dynlint/hotalloc
+		buf := make([]byte, 8)       // want dynlint/hotalloc
+		str := fmt.Sprintf("%d", v)  // want dynlint/hotalloc
+		f := func() int { return v } // want dynlint/hotalloc
+		ptr := &pair{a: i}           // want dynlint/hotalloc
+		q := new(pair)               // want dynlint/hotalloc
+		var tmp []int
+		tmp = append(tmp, v) // want dynlint/hotalloc
+		total += len(m) + len(s) + len(buf) + len(str) + f() + ptr.a + q.b + len(tmp)
+	}
+	return total
+}
+
+// crash shows the panic exemption: formatting a fatal message does not
+// count as per-iteration cost, but the panic itself is still panics-flagged
+// like everywhere else in library code.
+//
+//dynlint:hotpath
+func crash(vals []int) {
+	for i, v := range vals {
+		if v < 0 {
+			panic(fmt.Sprintf("hotalloc: negative value %d at %d", v, i)) // want dynlint/panics
+		}
+	}
+}
+
+// justified carries a suppressed allocation with a documented reason.
+//
+//dynlint:hotpath
+func justified(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		//lint:ignore dynlint/hotalloc fixture: demonstrates a justified, documented allocation
+		str := fmt.Sprintf("%d", v)
+		total += len(str)
+	}
+	return total
+}
+
+// clean follows the scratch-buffer idiom: the caller provides dst, struct
+// values stay on the stack, and nothing allocates per iteration.
+//
+//dynlint:hotpath
+func clean(dst []int, vals []int) []int {
+	for _, v := range vals {
+		e := pair{a: v, b: v * 2}
+		dst = append(dst, e.a+e.b)
+	}
+	return dst
+}
+
+// unannotated allocates freely: without //dynlint:hotpath nothing here is
+// checked. The bogus annotation name is reported as a typo.
+//
+//dynlint:bogus // want dynlint/lintdirective
+func unannotated(vals []int) []string {
+	out := make([]string, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, fmt.Sprintf("%d", v))
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package progpurity
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Program mirrors the radio engine's per-node contract interface; the
+// compile-time assertions below are what opt a type into the analyzer.
+type Program interface {
+	Act(round int) int
+	Deliver(round int, msg int)
+	Done() bool
+}
+
+// counters is package-level mutable state: Reset writes it, so any Program
+// touching it is flagged.
+var counters = map[string]int{}
+
+// table is package-level read-only schedule data; nothing writes it after
+// its declaration, so Programs may read it freely.
+var table = [4]int{1, 2, 3, 4}
+
+// Reset rewinds the counters between experiment runs (and is what marks
+// them mutable to the analyzer).
+func Reset() { counters["acts"] = 0 }
+
+// badNode breaks the contract in every checked way: mutable package state,
+// global RNG, wall clock, a reference to another Program, a mutating Done.
+type badNode struct {
+	id     int
+	peer   *goodNode
+	rounds int
+	done   bool
+}
+
+var _ Program = (*badNode)(nil)
+
+func (b *badNode) Act(round int) int {
+	counters["acts"]++          // want dynlint/progpurity
+	return rand.Intn(round + 1) // want dynlint/nondeterminism dynlint/progpurity
+}
+
+func (b *badNode) Deliver(round int, msg int) {
+	_ = time.Now().Unix() // want dynlint/nondeterminism dynlint/progpurity
+	if b.peer.finished {  // want dynlint/progpurity
+		b.done = true
+	}
+}
+
+func (b *badNode) Done() bool { // want dynlint/progpurity
+	b.tick()
+	return b.done
+}
+
+func (b *badNode) tick() { b.rounds++ }
+
+// goodNode honors the contract: a private seeded RNG, a receiver-owned map
+// keyed by the delivered message, reads of the read-only table, and a pure
+// monotone Done. Nothing here is flagged.
+type goodNode struct {
+	id       int
+	rng      *rand.Rand
+	heard    map[int]bool
+	finished bool
+}
+
+var _ Program = (*goodNode)(nil)
+
+func (g *goodNode) Act(round int) int {
+	return g.rng.Intn(table[round%len(table)] + 1)
+}
+
+func (g *goodNode) Deliver(round int, msg int) {
+	g.heard[msg] = true
+	if len(g.heard) >= 2 {
+		g.finished = true
+	}
+}
+
+func (g *goodNode) Done() bool { return g.finished }
+
+// auditNode shows a justified suppression: the shared audit counter is a
+// deliberate, documented contract exception in this fixture.
+type auditNode struct{ done bool }
+
+var _ Program = (*auditNode)(nil)
+
+func (a *auditNode) Act(round int) int {
+	//lint:ignore dynlint/progpurity fixture: deliberate shared audit counter with a documented reason
+	counters["audit"]++
+	return round
+}
+
+func (a *auditNode) Deliver(round int, msg int) {}
+
+func (a *auditNode) Done() bool { return a.done }

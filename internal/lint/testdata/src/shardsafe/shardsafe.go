@@ -1,0 +1,65 @@
+package shardsafe
+
+import "math/rand"
+
+// Event mirrors the radio event record; Seq is the merge-stamped field the
+// analyzer guards.
+type Event struct {
+	Round int
+	Seq   uint64
+}
+
+// engine carries the merge-owned RNG and the emitted events.
+type engine struct {
+	rng    *rand.Rand
+	events []Event
+	seq    uint64
+}
+
+// emit is merge-only code: it stamps Seq. It is flagged below only because
+// badPhase reaches it through indirect — the reachability walk, not the
+// annotation, is what drags it into the checked set.
+func (e *engine) emit(ev Event) {
+	e.seq++
+	ev.Seq = e.seq // want dynlint/shardsafe
+	e.events = append(e.events, ev)
+}
+
+// badPhase draws a coin, stamps Seq and reaches emit through a helper, all
+// from shard-parallel code.
+//
+//dynlint:shardsafe
+func (e *engine) badPhase(round int) {
+	if e.rng.Float64() < 0.5 { // want dynlint/shardsafe
+		return
+	}
+	var ev Event
+	ev.Round = round
+	ev.Seq = 7 // want dynlint/shardsafe
+	e.indirect(ev)
+}
+
+// indirect only forwards to emit; it exists so the fixture proves the
+// transitive walk (badPhase -> indirect -> emit) works.
+func (e *engine) indirect(ev Event) {
+	e.emit(ev)
+}
+
+// goodPhase only fills its shard-local buffer; the merge does the rest.
+// Nothing here is flagged.
+//
+//dynlint:shardsafe
+func (e *engine) goodPhase(round int, scratch []Event) []Event {
+	for i := 0; i < round; i++ {
+		scratch = append(scratch, Event{Round: round})
+	}
+	return scratch
+}
+
+// justifiedPhase carries a suppressed coin draw with a documented reason.
+//
+//dynlint:shardsafe
+func (e *engine) justifiedPhase() float64 {
+	//lint:ignore dynlint/shardsafe fixture: demonstrates a justified, documented exception
+	return e.rng.Float64()
+}

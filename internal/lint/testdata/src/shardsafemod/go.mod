@@ -1,0 +1,3 @@
+module shardsafemod
+
+go 1.22

@@ -1,0 +1,7 @@
+// Package trace is a stand-in for the repo's internal/trace: reaching it
+// from shard-phase code must be flagged wherever the module lives, which is
+// why the analyzer matches forbidden packages by import-path suffix.
+package trace
+
+// Emit records one value.
+func Emit(v int) {}

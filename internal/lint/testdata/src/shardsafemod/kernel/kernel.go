@@ -1,0 +1,27 @@
+// Package kernel mimics the radio kernel's shard phases: phase is
+// annotated //dynlint:shardsafe and reaches trace.Emit only transitively,
+// through record — the case the reachability walk exists for.
+package kernel
+
+import "shardsafemod/internal/trace"
+
+// state is a stand-in shard.
+type state struct {
+	buf []int
+}
+
+// phase fills the shard buffer; the trace call hides one hop down.
+//
+//dynlint:shardsafe
+func (s *state) phase(round int) {
+	for i := 0; i < round; i++ {
+		s.record(i)
+	}
+}
+
+// record forwards to the trace package; the finding lands on the call site
+// here, inside the reachable set, not on the annotated root.
+func (s *state) record(v int) {
+	s.buf = append(s.buf, v)
+	trace.Emit(v) // want dynlint/shardsafe
+}

@@ -321,6 +321,11 @@ func (k *kernel) phase(fn func(*shard)) {
 	wg.Wait()
 }
 
+// act is the first shard phase: collect every live node's action for the
+// round and stage transmit events in the shard's buffer for the merge.
+//
+//dynlint:shardsafe act runs concurrently per shard
+//dynlint:hotpath per node per round
 func (k *kernel) act(sh *shard, round int) {
 	sh.evAct = sh.evAct[:0]
 	for i := sh.lo; i < sh.hi; i++ {
@@ -349,6 +354,12 @@ func (k *kernel) act(sh *shard, round int) {
 	}
 }
 
+// resolve is the second shard phase: for each listener in the shard, record
+// the candidate transmitters on its channel; no coins, no events — the merge
+// draws losses so the RNG order matches the reference loop.
+//
+//dynlint:shardsafe resolve runs concurrently per shard
+//dynlint:hotpath per listener per round
 func (k *kernel) resolve(sh *shard, round int) {
 	sh.lis = sh.lis[:0]
 	sh.cands = sh.cands[:0]
@@ -384,6 +395,8 @@ func (k *kernel) resolve(sh *shard, round int) {
 // the same Seq numbers. It is also the only place the trace hook runs, so
 // hook consumers (trace sinks, obs collectors, flight writers) stay
 // single-goroutine.
+//
+//dynlint:hotpath per candidate per round
 func (k *kernel) mergeResolve(round int, res *Result) {
 	e := k.e
 	k.deliv = k.deliv[:0]
@@ -420,6 +433,11 @@ func (k *kernel) mergeResolve(round int, res *Result) {
 	}
 }
 
+// deliverAndDone is the third shard phase: hand the merge's deliveries to
+// the shard's Programs and refresh the quiescence counter.
+//
+//dynlint:shardsafe deliverAndDone runs concurrently per shard
+//dynlint:hotpath per node per round
 func (k *kernel) deliverAndDone(sh *shard, round int) {
 	for _, d := range k.deliv[sh.dLo:sh.dHi] {
 		k.progs[d.node].Deliver(round+k.skews[d.node], d.msg)

@@ -116,6 +116,10 @@ func TransmitOn(ch Channel, msg Message) Action {
 // counter instead of rescanning every node every round, so a Program that
 // "un-finishes" would be missed. Every protocol in this repository keeps
 // Done as a pure threshold on monotone local state.
+//
+// The node-locality and Done-purity halves of this contract are enforced
+// statically: dynlint/progpurity checks every type with a compile-time
+// `var _ radio.Program = ...` assertion (see docs/static-analysis.md).
 type Program interface {
 	Act(round int) Action
 	Deliver(round int, msg Message)

@@ -228,6 +228,8 @@ func (a *Assignment) InterferenceSet(k Kind, v graph.NodeID) []graph.NodeID {
 // AppendInterferenceSet appends v's interference set of kind k to dst and
 // returns the extended slice — the allocation-free form of InterferenceSet
 // used by the per-round broadcast planners.
+//
+//dynlint:hotpath per receiver per round in the planners
 func (a *Assignment) AppendInterferenceSet(dst []graph.NodeID, k Kind, v graph.NodeID) []graph.NodeID {
 	depth := a.net.Tree().DepthMap()
 	dv, ok := depth[v]
@@ -254,6 +256,8 @@ func (a *Assignment) AppendInterferenceSet(dst []graph.NodeID, k Kind, v graph.N
 // on ties). ok is false when the condition is violated for v. Interference
 // sets are degree-bounded, so the quadratic uniqueness scan beats a counting
 // map and keeps the steady-state receive check allocation-free.
+//
+//dynlint:hotpath steady-state receive check, reuses setBuf
 func (a *Assignment) Designated(k Kind, v graph.NodeID) (u graph.NodeID, slot int, ok bool) {
 	a.setBuf = a.AppendInterferenceSet(a.setBuf[:0], k, v)
 	set := a.setBuf
@@ -290,6 +294,8 @@ func (a *Assignment) conditionHolds(k Kind, v graph.NodeID) bool {
 // appendAudience appends C(y) for Procedure 1 — the receivers of kind k
 // whose interference sets contain y — to dst and returns the extended
 // slice.
+//
+//dynlint:hotpath per recalculated node during repair
 func (a *Assignment) appendAudience(dst []graph.NodeID, k Kind, y graph.NodeID) []graph.NodeID {
 	depth := a.net.Tree().DepthMap()
 	dy := depth[y]

@@ -51,6 +51,9 @@ echo "== fuzz smoke"
 go test -run '^$' -fuzz '^FuzzNetioRead$' -fuzztime 5s ./internal/netio
 go test -run '^$' -fuzz '^FuzzRecordingDecode$' -fuzztime 5s ./internal/flight
 go test -run '^$' -fuzz '^FuzzEngineEquivalence$' -fuzztime 5s ./internal/radio
+# The go tool ignores testdata, so the lint fixtures only compile through
+# the lint loader: run the loader test explicitly so fixtures can't bit-rot.
+go test -run '^TestFixturesLoad$' -count=1 ./internal/lint
 
 echo "== replay smoke"
 # Record a 200-node run with mid-broadcast failures, then replay it
@@ -65,6 +68,8 @@ grep -q 'verifier: PASS' "$replay_dir/replay.txt"
 go run ./scripts/jsoncheck "$replay_dir/trace.json"
 
 echo "== dynlint"
+# All analyzers, the contract checkers (progpurity/shardsafe/hotalloc)
+# included: they are in lint.All, so the default run gates on them too.
 go run ./cmd/dynlint ./...
 
 echo "== bench smoke"
