@@ -36,6 +36,12 @@ func runReplay(w io.Writer, path, chromePath string, timeline bool, span, whyMis
 		len(rec.Nodes), len(rec.Edges), len(rec.Deltas), len(rec.Phases), len(rec.Events), drop); err != nil {
 		return false, err
 	}
+	// The coin scheme decides which engine reproduces this run: a v1
+	// recording's seeded outcomes only replay under the old serial engine
+	// RNG, so the scheme is stated up front rather than silently assumed.
+	if _, err := fmt.Fprintf(w, "rng-scheme: %s (format v%d)\n", h.RNGScheme, h.Version); err != nil {
+		return false, err
+	}
 
 	rep := flight.Verify(rec)
 	if err := rep.Write(w); err != nil {

@@ -62,6 +62,7 @@ func TestReplayCleanRun(t *testing.T) {
 	}
 	for _, want := range []string{
 		"recording: ICFF n=40", "verifier: PASS", "wrote Chrome trace",
+		"rng-scheme: " + flight.RNGSchemeCounter + " (format v2)",
 		"trace seq=1", // span view
 		"r1",          // timeline rows
 	} {

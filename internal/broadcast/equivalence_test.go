@@ -3,12 +3,15 @@ package broadcast
 import (
 	"bytes"
 	"fmt"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"dynsens/internal/flight"
 	"dynsens/internal/graph"
 	"dynsens/internal/radio"
 	"dynsens/internal/timeslot"
+	"dynsens/internal/trace"
 )
 
 // runRecorded executes one protocol run at the given engine worker count,
@@ -99,10 +102,11 @@ func TestRunByteIdenticalAcrossWorkers(t *testing.T) {
 			opts: Options{LossRate: 0.1, LossSeed: 7},
 		},
 	}
+	workerSet := []int{2, 3, 8, runtime.NumCPU()}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			wantM, wantTrace, wantFlight := runRecorded(t, tc.build, tc.opts, 1)
-			for _, w := range []int{2, 4, 9} {
+			for _, w := range workerSet {
 				gotM, gotTrace, gotFlight := runRecorded(t, tc.build, tc.opts, w)
 				if gotM.String() != wantM.String() {
 					t.Fatalf("workers=%d metrics diverge:\n got %s\nwant %s", w, gotM, wantM)
@@ -116,5 +120,53 @@ func TestRunByteIdenticalAcrossWorkers(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestRunByteIdenticalRingRecorder repeats the byte-identity check with a
+// bounded ring flight writer and a batch-hooked trace recorder in the
+// loop: eviction order and the batched sink path must themselves be
+// deterministic across worker counts.
+func TestRunByteIdenticalRingRecorder(t *testing.T) {
+	a := buildAssigned(t, 5, 140, timeslot.ConditionStrict)
+	g := a.Net().Graph()
+	opts := Options{LossRate: 0.2, LossSeed: 17}
+	run := func(workers int) ([]byte, []radio.Event, int) {
+		plan, err := ICFFPlan(a, 0, 1, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var flightBuf bytes.Buffer
+		fw := flight.NewRingWriter(&flightBuf, 24)
+		fw.WriteHeader(flight.Header{Seed: 1, N: g.NumNodes(), Protocol: plan.Protocol,
+			LossRate: opts.LossRate, LossSeed: opts.LossSeed})
+		rec := trace.NewRecorder(40)
+		o := opts
+		o.Workers = workers
+		o.TraceBatch = rec.BatchHook()
+		o.Flight = fw
+		if _, err := plan.Run(g, o); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		evs := make([]radio.Event, len(rec.Events()))
+		copy(evs, rec.Events())
+		return flightBuf.Bytes(), evs, rec.Dropped()
+	}
+	wantFlight, wantEvs, wantDropped := run(1)
+	if wantDropped == 0 {
+		t.Fatal("recorder limit never hit; ring/drop paths not exercised")
+	}
+	for _, w := range []int{2, 3, 8, runtime.NumCPU()} {
+		gotFlight, gotEvs, gotDropped := run(w)
+		if !bytes.Equal(gotFlight, wantFlight) {
+			t.Fatalf("workers=%d ring recording diverges", w)
+		}
+		if !reflect.DeepEqual(gotEvs, wantEvs) || gotDropped != wantDropped {
+			t.Fatalf("workers=%d recorder diverges (%d events, %d dropped vs %d, %d)",
+				w, len(gotEvs), gotDropped, len(wantEvs), wantDropped)
+		}
 	}
 }

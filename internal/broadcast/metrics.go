@@ -47,6 +47,12 @@ type Options struct {
 	Workers int
 	// Trace receives engine events when non-nil.
 	Trace func(radio.Event)
+	// TraceBatch receives engine events in per-shard batches when non-nil
+	// (radio.Engine.SetTraceBatch): one call per shard buffer per phase
+	// per round, same events in the same deterministic order as Trace.
+	// The engine reuses the batch slice — copy events to retain them. May
+	// coexist with Trace; both see every event once.
+	TraceBatch func([]radio.Event)
 	// Obs, when non-nil, receives the run's instrumentation: radio event
 	// counters and awake histograms under a protocol label, plus the
 	// run-level broadcast metrics (see docs/observability.md). Safe to
@@ -198,15 +204,22 @@ func (p *Plan) Run(g *graph.Graph, opts Options) (Metrics, error) {
 	if opts.Obs != nil {
 		col = obs.NewRadioCollector(opts.Obs, obs.L("protocol", p.Protocol))
 	}
-	hook := opts.Trace
+	// Built-in consumers (obs collector, flight writer) ride the batched
+	// hook — one sink call per shard buffer per phase per round — so
+	// instrumentation stays off the per-event path; a caller's per-event
+	// Trace keeps its own slot and sees the same events in the same order.
+	if opts.Trace != nil {
+		eng.SetTrace(opts.Trace)
+	}
+	batch := opts.TraceBatch
 	if col != nil {
-		hook = obs.ChainHooks(hook, col.Hook())
+		batch = obs.ChainBatchHooks(batch, col.BatchHook())
 	}
 	if opts.Flight != nil {
-		hook = obs.ChainHooks(hook, opts.Flight.Hook())
+		batch = obs.ChainBatchHooks(batch, opts.Flight.BatchHook())
 	}
-	if hook != nil {
-		eng.SetTrace(hook)
+	if batch != nil {
+		eng.SetTraceBatch(batch)
 	}
 	for _, f := range opts.Failures {
 		eng.FailNodeAt(f.Node, f.Round)

@@ -129,6 +129,15 @@ func decodeHeader(d *decoder) (Header, error) {
 	if h.RingLimit, err = d.intField(); err != nil {
 		return h, err
 	}
+	if h.Version >= 2 {
+		if h.RNGScheme, err = d.str(); err != nil {
+			return h, err
+		}
+	} else {
+		// Version 1 predates counter streams: every v1 recording was made
+		// under the serial engine-RNG coin order.
+		h.RNGScheme = RNGSchemeEngineRand
+	}
 	return h, nil
 }
 

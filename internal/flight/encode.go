@@ -66,6 +66,11 @@ func encodeHeader(h Header) []byte {
 	p = putUvarint(p, math.Float64bits(h.LossRate))
 	p = putVarint(p, h.LossSeed)
 	p = putUvarint(p, uint64(h.RingLimit))
+	// RNGScheme joined the header in version 2; version 1 recordings must
+	// re-encode to their original bytes, so the field is version-gated.
+	if h.Version >= 2 {
+		p = putString(p, h.RNGScheme)
+	}
 	return p
 }
 
@@ -220,9 +225,15 @@ func NewRingWriter(w io.Writer, ringCap int) *Writer {
 }
 
 // WriteHeader records the run header; it must be called exactly once.
+// Unset fields get the current defaults: format Version and — for v2+
+// headers — the counter-stream RNG scheme, the only scheme current engines
+// produce.
 func (w *Writer) WriteHeader(h Header) {
 	if h.Version == 0 {
 		h.Version = Version
+	}
+	if h.Version >= 2 && h.RNGScheme == "" {
+		h.RNGScheme = RNGSchemeCounter
 	}
 	if w.ringCap > 0 {
 		h.RingLimit = w.ringCap
@@ -266,9 +277,21 @@ func (w *Writer) WriteEvent(ev radio.Event) {
 // Hook returns the callback to install with radio.Engine.SetTrace or
 // broadcast.Options.Trace. The Writer is not goroutine-safe, but it does
 // not need to be for engine hooks: the radio kernel emits all events from
-// one goroutine (its sequential merge phase) at any worker count, and the
+// one goroutine (its serial stitch steps) at any worker count, and the
 // recorded byte stream is identical at any radio.Engine.SetWorkers value.
 func (w *Writer) Hook() func(radio.Event) { return w.WriteEvent }
+
+// BatchHook returns the batched callback for radio.Engine.SetTraceBatch or
+// broadcast.Options.TraceBatch: one call per shard buffer per phase per
+// round. Events are encoded immediately (the engine reuses the batch
+// slice), producing the same byte stream as feeding Hook every event.
+func (w *Writer) BatchHook() func([]radio.Event) {
+	return func(evs []radio.Event) {
+		for i := range evs {
+			w.WriteEvent(evs[i])
+		}
+	}
+}
 
 // SetFooter stages the run outcome to be written on Close. The ring drop
 // count is filled in by Close.

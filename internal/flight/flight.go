@@ -23,8 +23,24 @@ import (
 	"dynsens/internal/radio"
 )
 
-// Version is the current recording format version.
-const Version = 1
+// Version is the current recording format version. Version 2 added
+// Header.RNGScheme (the loss-coin scheme the run drew from); version 1
+// recordings decode with RNGScheme defaulted to RNGSchemeEngineRand and
+// still re-encode byte-identically.
+const Version = 2
+
+// Loss-coin scheme names carried in Header.RNGScheme. Replay tooling
+// prints the scheme so a recording made under one coin order is never
+// silently re-verified under another.
+const (
+	// RNGSchemeEngineRand is the pre-v2 serial engine RNG: one shared
+	// math/rand stream drawn in the kernel's sequential merge.
+	RNGSchemeEngineRand = "engine-rand-v1"
+	// RNGSchemeCounter is the counter-based per-listener stream scheme:
+	// splitmix64 streams keyed (lossSeed, listener, round), drawn in-shard
+	// (internal/radio/rng.go).
+	RNGSchemeCounter = "counter-splitmix64-v2"
+)
 
 // Role bytes used in NodeInfo.Role; they mirror cnet.Status without
 // importing it, so the package stays loadable by external tooling.
@@ -53,6 +69,10 @@ type Header struct {
 	// RingLimit is the event ring capacity the recording was made with
 	// (0 = unbounded).
 	RingLimit int
+	// RNGScheme names the loss-coin scheme the run drew from (one of the
+	// RNGScheme* constants). Present on the wire from Version 2; version 1
+	// recordings decode as RNGSchemeEngineRand.
+	RNGScheme string
 }
 
 // NodeInfo is the recorded structural state of one node: cluster role,

@@ -87,6 +87,59 @@ func TestWriterEncodeFixpoint(t *testing.T) {
 	}
 }
 
+// TestHeaderRNGSchemeDefaults: a Writer header with nothing set comes out
+// as the current format version carrying the counter-stream scheme, and
+// the scheme survives a decode round trip.
+func TestHeaderRNGSchemeDefaults(t *testing.T) {
+	raw, _ := recordRun(t, 30, 8, 4, broadcast.Options{Channels: 1}, 0)
+	rec, err := flight.DecodeBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Header.Version != flight.Version {
+		t.Fatalf("header version %d, want %d", rec.Header.Version, flight.Version)
+	}
+	if rec.Header.RNGScheme != flight.RNGSchemeCounter {
+		t.Fatalf("header scheme %q, want %q", rec.Header.RNGScheme, flight.RNGSchemeCounter)
+	}
+}
+
+// TestHeaderV1BackwardCompatible: a version-1 recording (no RNGScheme on
+// the wire) still decodes — the scheme defaults to the serial engine RNG
+// every v1 run drew from — and re-encodes to its original bytes, so old
+// recordings stay verifiable and bit-stable.
+func TestHeaderV1BackwardCompatible(t *testing.T) {
+	v1 := flight.Recording{
+		Header: flight.Header{Version: 1, Seed: 9, N: 4, Side: 2, Channels: 1,
+			Source: 0, Protocol: "ICFF", LossRate: 0.15, LossSeed: 3},
+		Events: []radio.Event{
+			{Seq: 1, Round: 1, Kind: radio.EvTransmit, Node: 0, Peer: flight.NoParent, Channel: 0},
+		},
+	}
+	var raw bytes.Buffer
+	if err := v1.Encode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := flight.DecodeBytes(raw.Bytes())
+	if err != nil {
+		t.Fatalf("v1 recording failed to decode: %v", err)
+	}
+	if dec.Header.Version != 1 {
+		t.Fatalf("decoded version %d, want 1", dec.Header.Version)
+	}
+	if dec.Header.RNGScheme != flight.RNGSchemeEngineRand {
+		t.Fatalf("v1 scheme defaulted to %q, want %q", dec.Header.RNGScheme, flight.RNGSchemeEngineRand)
+	}
+	var again bytes.Buffer
+	if err := dec.Encode(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), raw.Bytes()) {
+		t.Fatalf("v1 re-encode drifted (%d vs %d bytes): the scheme field must stay version-gated",
+			again.Len(), raw.Len())
+	}
+}
+
 // TestVerifierPassesCleanRun: a clean recorded run decodes with the full
 // topology and passes every offline check.
 func TestVerifierPassesCleanRun(t *testing.T) {

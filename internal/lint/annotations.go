@@ -13,13 +13,21 @@ import (
 //	//dynlint:hotpath
 //	func (g *Grid) appendUnsorted(dst []int, p Point, exclude int) []int {
 //
-// Two annotations exist:
+// Three annotations exist:
 //
 //	//dynlint:shardsafe — the function runs inside a shard phase of the
 //	radio kernel's parallel engine; it and everything it reaches in its
-//	package must not emit traces/obs/flight events, draw randomness, or
-//	stamp Event.Seq (those belong to the sequential merge — the
-//	determinism-by-merge proof obligation).
+//	package must not emit traces/obs/flight events, draw from a
+//	*rand.Rand or global math/rand, or stamp Event.Seq. In-shard
+//	counter-based stream draws (plain arithmetic keyed off the run seed,
+//	see internal/radio/rng.go) are legal: they have no draw-order
+//	dependency for the analyzer to protect.
+//
+//	//dynlint:seqstitch — the function is a sanctioned parallel
+//	Event.Seq writer: it renumbers a shard's staged events from a base
+//	that the kernel's serial stitch prefix-summed. Seq writes inside it
+//	are exempt from the shardsafe rule; every other shardsafe obligation
+//	still applies to it.
 //
 //	//dynlint:hotpath — the function is on a per-round/per-node hot path;
 //	loops inside it must not heap-allocate per iteration.
@@ -34,6 +42,7 @@ const annotationPrefix = "//dynlint:"
 // knownAnnotations lists the valid annotation names.
 var knownAnnotations = map[string]bool{
 	"hotpath":   true,
+	"seqstitch": true,
 	"shardsafe": true,
 }
 
@@ -108,7 +117,7 @@ func annotationFindings(fset *token.FileSet, file *ast.File) []Finding {
 				out = append(out, Finding{
 					Analyzer: "lintdirective",
 					Pos:      fset.Position(c.Pos()),
-					Message:  fmt.Sprintf("unknown annotation %s%s (have hotpath, shardsafe)", annotationPrefix, name),
+					Message:  fmt.Sprintf("unknown annotation %s%s (have hotpath, seqstitch, shardsafe)", annotationPrefix, name),
 				})
 			case !attached[c]:
 				out = append(out, Finding{

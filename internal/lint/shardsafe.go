@@ -7,20 +7,24 @@ import (
 	"strings"
 )
 
-// ShardSafe enforces the determinism-by-merge rule: functions annotated
+// ShardSafe enforces the kernel's determinism contract: functions annotated
 // //dynlint:shardsafe run concurrently across shards inside the radio
-// kernel's phase engine, so every observable side effect — trace/obs/flight
-// emission, RNG draws, Event.Seq stamping — must stay in the sequential
-// merge. The analyzer walks the same-package call graph from each annotated
-// function and flags, anywhere in the reachable set:
+// kernel's phase engine, so every effect whose order could depend on shard
+// interleaving must stay in the serial stitch steps between phases. The
+// analyzer walks the same-package call graph from each annotated function
+// and flags, anywhere in the reachable set:
 //
 //   - calls into internal/trace, internal/obs or internal/flight (their
 //     output order would depend on shard interleaving);
-//   - any *rand.Rand method call or package-global math/rand draw (coin
-//     order is part of the deterministic replay contract; the merge owns
-//     the loss RNG);
-//   - writes to an Event's Seq field (sequence numbers are stamped by the
-//     merge's emit path, once, in merge order).
+//   - any *rand.Rand method call or package-global math/rand draw (a
+//     shared generator's draw order is a cross-shard ordering dependency;
+//     in-shard counter-based stream draws — plain arithmetic keyed off the
+//     run seed, internal/radio/rng.go — are legal precisely because they
+//     have none, and the analyzer does not flag them);
+//   - writes to an Event's Seq field, except inside functions annotated
+//     //dynlint:seqstitch — the sanctioned parallel renumbering from
+//     prefix-summed per-shard bases. A seqstitch function keeps every
+//     other shardsafe obligation.
 //
 // Calls that leave the package through an interface or into a third package
 // are not followed; the forbidden packages are matched at the call site, so
@@ -28,8 +32,9 @@ import (
 // annotations — keep shard-phase logic in the kernel's package.
 var ShardSafe = &Analyzer{
 	Name: "shardsafe",
-	Doc: "forbids trace/obs/flight calls, RNG use and Event.Seq writes in code " +
-		"reachable from //dynlint:shardsafe functions (merge-only effects)",
+	Doc: "forbids trace/obs/flight calls, shared-RNG use and Event.Seq writes " +
+		"(outside //dynlint:seqstitch renumberers) in code reachable from " +
+		"//dynlint:shardsafe functions (stitch-only effects)",
 	Run: runShardSafe,
 }
 
@@ -72,16 +77,25 @@ func checkShardSafe(p *Package, fd *ast.FuncDecl, report func(ast.Node, string, 
 	if fd.Body == nil {
 		return
 	}
+	// A //dynlint:seqstitch function is the sanctioned parallel Seq
+	// renumberer: its Seq writes are by-construction deterministic (bases
+	// come from the serial stitch's prefix sums), so only the Seq-write
+	// check is waived for it.
+	seqExempt := funcAnnotations(fd)["seqstitch"]
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.CallExpr:
 			checkShardCall(p, fd, x, report)
 		case *ast.AssignStmt:
-			for _, lhs := range x.Lhs {
-				checkSeqWrite(p, fd, lhs, report)
+			if !seqExempt {
+				for _, lhs := range x.Lhs {
+					checkSeqWrite(p, fd, lhs, report)
+				}
 			}
 		case *ast.IncDecStmt:
-			checkSeqWrite(p, fd, x.X, report)
+			if !seqExempt {
+				checkSeqWrite(p, fd, x.X, report)
+			}
 		}
 		return true
 	})
@@ -130,7 +144,7 @@ func checkSeqWrite(p *Package, fd *ast.FuncDecl, lhs ast.Expr,
 	}
 	if named := namedOf(tv.Type); named != nil && named.Obj().Name() == "Event" {
 		report(lhs, "%s runs in a shard phase (reachable from //dynlint:shardsafe) but writes Event.Seq; "+
-			"sequence numbers are stamped exclusively by the merge's emit path (determinism-by-merge)",
-			fd.Name.Name)
+			"sequence numbers come from the serial stitch's prefix sums, applied only by "+
+			"//dynlint:seqstitch renumberers", fd.Name.Name)
 	}
 }

@@ -63,3 +63,55 @@ func (e *engine) justifiedPhase() float64 {
 	//lint:ignore dynlint/shardsafe fixture: demonstrates a justified, documented exception
 	return e.rng.Float64()
 }
+
+// mixStream is a counter-based in-shard draw: plain arithmetic keyed off a
+// seed, no shared generator, no draw-order dependency. Legal in shard
+// phases — the analyzer must not flag it.
+func mixStream(s uint64) uint64 {
+	s += 0x9E3779B97F4A7C15
+	s = (s ^ (s >> 30)) * 0xBF58476D1CE4E5B9
+	return s ^ (s >> 31)
+}
+
+// streamPhase draws coins from a counter stream inside a shard phase and
+// renumbers its buffer through the sanctioned stitch helper. Clean.
+//
+//dynlint:shardsafe
+func (e *engine) streamPhase(seed uint64, evs []Event) int {
+	heard := 0
+	for i := range evs {
+		if mixStream(seed+uint64(i))&1 == 0 {
+			heard++
+		}
+	}
+	stitchSeq(evs, 41)
+	return heard
+}
+
+// stitchSeq is the sanctioned parallel Seq renumberer: the seqstitch
+// annotation waives the Seq-write rule for it (and only that rule).
+//
+//dynlint:seqstitch fixture: renumbering from a prefix-summed base
+func stitchSeq(evs []Event, base uint64) {
+	for i := range evs {
+		evs[i].Seq = base + 1 + uint64(i)
+	}
+}
+
+// stitchAbuse shows the exemption is narrow: a seqstitch function that
+// draws from the shared RNG is still flagged when reached from a shard
+// phase — only Seq writes are waived.
+//
+//dynlint:seqstitch fixture: annotation does not waive the RNG rule
+func (e *engine) stitchAbuse(evs []Event) {
+	for i := range evs {
+		evs[i].Seq = e.rng.Uint64() // want dynlint/shardsafe
+	}
+}
+
+// abusePhase reaches stitchAbuse from a shard phase.
+//
+//dynlint:shardsafe
+func (e *engine) abusePhase(evs []Event) {
+	e.stitchAbuse(evs)
+}

@@ -86,6 +86,65 @@ func (s *EventSink) Hook() func(radio.Event) {
 	}
 }
 
+// BatchHook returns the batched callback for radio.Engine.SetTraceBatch:
+// one shard buffer is marshaled into a single buffer and written under one
+// lock acquisition and one Write call, instead of one of each per event.
+// Output bytes are identical to feeding Hook every event.
+func (s *EventSink) BatchHook() func([]radio.Event) {
+	var buf []byte
+	return func(evs []radio.Event) {
+		if len(evs) == 0 {
+			return
+		}
+		buf = buf[:0]
+		var mErr error
+		for i := range evs {
+			ev := &evs[i]
+			rec := EventRecord{
+				ESeq:    ev.Seq,
+				Round:   ev.Round,
+				Kind:    ev.Kind.String(),
+				Node:    int(ev.Node),
+				Channel: int(ev.Channel),
+			}
+			switch ev.Kind {
+			case radio.EvDeliver, radio.EvLinkFail, radio.EvLoss:
+				p := int(ev.Peer)
+				rec.Peer = &p
+			}
+			switch ev.Kind {
+			case radio.EvTransmit, radio.EvDeliver, radio.EvLoss:
+				rec.Seq = ev.Msg.Seq
+				rec.Src = int(ev.Msg.Src)
+				rec.Slot = ev.Msg.Slot
+				rec.Depth = ev.Msg.Depth
+				rec.Group = ev.Msg.Group
+			}
+			b, err := json.Marshal(rec)
+			if err != nil {
+				mErr = err
+				break
+			}
+			buf = append(buf, b...)
+			buf = append(buf, '\n')
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.err != nil {
+			return
+		}
+		if mErr != nil {
+			s.err = mErr
+			return
+		}
+		if _, err := s.w.Write(buf); err != nil {
+			s.err = err
+			return
+		}
+		s.events += len(evs)
+	}
+}
+
 // Events returns the number of events written so far.
 func (s *EventSink) Events() int {
 	s.mu.Lock()

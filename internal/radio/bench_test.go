@@ -43,11 +43,52 @@ func benchEngine(b *testing.B, g *graph.Graph, horizon int, seed int64) *Engine 
 	return eng
 }
 
+// engineModes is the worker sweep both engine benchmarks share: the
+// reference loop (workers=0) against the kernel at 1, 2 and 4 workers.
+// The sweep is fixed rather than GOMAXPROCS-derived so BENCH json keys are
+// stable across hosts; on a single-CPU box the w2/w4 legs measure pure
+// coordination overhead, which scripts/bench.sh reports as-is.
+type engineMode struct {
+	name    string
+	workers int // 0 = reference loop
+}
+
+func engineModes(includeReference bool) []engineMode {
+	modes := []engineMode{}
+	if includeReference {
+		modes = append(modes, engineMode{"reference", 0})
+	}
+	for _, w := range []int{1, 2, 4} {
+		modes = append(modes, engineMode{fmt.Sprintf("workers=%d", w), w})
+	}
+	return modes
+}
+
+func runEngineMode(b *testing.B, g *graph.Graph, mode engineMode, horizon int, seed int64) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng := benchEngine(b, g, horizon, seed+int64(i))
+		if mode.workers > 0 {
+			eng.SetWorkers(mode.workers)
+		}
+		b.StartTimer()
+		var res Result
+		if mode.workers == 0 {
+			res = eng.RunReference(horizon)
+		} else {
+			res = eng.Run(horizon)
+		}
+		if res.Rounds != horizon {
+			b.Fatalf("run stopped at round %d of %d", res.Rounds, horizon)
+		}
+	}
+}
+
 // BenchmarkEngineRun measures a full engine run (20 rounds of mixed
 // listen/transmit load over 2 channels) across graph sizes and densities,
-// comparing the reference loop against the kernel at 1 and GOMAXPROCS
-// workers. scripts/bench.sh runs this with GOMAXPROCS=4 and turns the
-// reference-vs-kernel ratio into BENCH_PR5.json.
+// comparing the reference loop against the kernel worker sweep.
+// scripts/bench.sh runs this with GOMAXPROCS=4 and turns the ratios into
+// BENCH_PR5.json (kernel vs reference) and BENCH_PR7.json (wN vs w1).
 func BenchmarkEngineRun(b *testing.B) {
 	const horizon = 20
 	for _, n := range []int{2000, 10000, 50000} {
@@ -59,40 +100,36 @@ func BenchmarkEngineRun(b *testing.B) {
 				continue // CI bench smoke: one small leg keeps it compiling
 			}
 			g := benchGraph(n, topo.chords, int64(n))
-			modes := []struct {
-				name    string
-				workers int // 0 = reference loop
-			}{
-				{"reference", 0},
-				{"workers=1", 1},
-			}
-			if p := runtime.GOMAXPROCS(0); p > 1 {
-				modes = append(modes, struct {
-					name    string
-					workers int
-				}{fmt.Sprintf("workers=%d", p), p})
-			}
-			for _, mode := range modes {
+			for _, mode := range engineModes(true) {
 				b.Run(fmt.Sprintf("n=%d/%s/%s", n, topo.name, mode.name), func(b *testing.B) {
-					for i := 0; i < b.N; i++ {
-						b.StopTimer()
-						eng := benchEngine(b, g, horizon, int64(n)*31+int64(i))
-						if mode.workers > 0 {
-							eng.SetWorkers(mode.workers)
-						}
-						b.StartTimer()
-						var res Result
-						if mode.workers == 0 {
-							res = eng.RunReference(horizon)
-						} else {
-							res = eng.Run(horizon)
-						}
-						if res.Rounds != horizon {
-							b.Fatalf("run stopped at round %d of %d", res.Rounds, horizon)
-						}
-					}
+					runEngineMode(b, g, mode, horizon, int64(n)*31)
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkEngineScale pushes the kernel worker sweep to n ∈ {200k, 1M}
+// sparse — the sizes the parallel-deliver kernel targets. The reference
+// loop is excluded (its O(listeners × transmitters) resolve would take
+// hours at 10⁶), and -short skips the whole benchmark so the CI bench
+// smoke stays fast. GOMAXPROCS is left to the harness; scripts/bench.sh
+// pins it to 4 for the recorded BENCH_PR7.json legs.
+func BenchmarkEngineScale(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large-n scale benchmark skipped in -short")
+	}
+	const horizon = 10
+	for _, n := range []int{200_000, 1_000_000} {
+		g := benchGraph(n, 1, int64(n))
+		for _, mode := range engineModes(false) {
+			b.Run(fmt.Sprintf("n=%d/sparse/%s", n, mode.name), func(b *testing.B) {
+				runEngineMode(b, g, mode, horizon, int64(n)*31)
+			})
+		}
+		// Drop the graph (and its adjacency caches) before building the
+		// next size; at n=10⁶ the two together are worth reclaiming.
+		g = nil
+		runtime.GC()
 	}
 }

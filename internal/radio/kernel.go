@@ -2,6 +2,7 @@ package radio
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -17,27 +18,35 @@ import (
 //	act     — collect each live node's Action; node-local, fans out over
 //	          ID-range shards.
 //	resolve — per listener, enumerate candidate frames from its *neighbors*
-//	          (via the cached adjacency translated to dense indices) instead
-//	          of scanning every transmitter on the channel; node-local, fans
-//	          out over the same shards.
-//	deliver — draw loss coins, emit events, count, and invoke Deliver. The
-//	          coin draws, counter updates, Seq stamping and trace-hook calls
-//	          happen in a single sequential merge on the Run goroutine;
-//	          Deliver and the Done re-evaluation then fan out again.
+//	          (word-wise against per-channel transmitter bitsets, or via the
+//	          dense index-space adjacency), draw that listener's loss coins
+//	          from its own counter stream, and stage rx events in the
+//	          shard's buffer; node-local, fans out over the same shards.
+//	deliver — stamp the staged events' Seq numbers from precomputed
+//	          per-shard bases, hand receptions to the shard's Programs, and
+//	          re-evaluate Done; node-local, fans out again.
 //
-// Determinism by merge: workers only produce per-shard buffers. The merge
-// concatenates them in shard order, which — because shards are contiguous
-// ascending ID ranges and every per-shard buffer is filled in ascending
-// node order — visits nodes in exactly the reference loop's order. Loss
-// coins are therefore consumed from the engine's RNG in the reference
-// order, Event.Seq is stamped by the same single goroutine that invokes
-// the trace hook, and traces, obs counters and flight recordings come out
+// Determinism by construction: loss coins come from splitmix64 counter
+// streams keyed (lossSeed, listener, round) — see rng.go — so any shard can
+// draw any of its listeners' coins with zero cross-shard ordering
+// dependency; no phase touches a shared RNG. Event.Seq is stamped by an
+// ordered stitch: short serial steps between phases prefix-sum the
+// per-shard event counts into per-shard bases (transmit events of every
+// shard precede rx-phase events of every shard, matching the reference
+// loop's emission order), and the next parallel phase renumbers each
+// shard's buffer from its base. Because shards are contiguous ascending ID
+// ranges filled in ascending node order, concatenating the buffers in shard
+// order reproduces the reference event stream exactly — same order, same
+// Seq — and the serial steps hand each stamped buffer to the trace hooks on
+// the Run goroutine. Traces, obs counters and flight recordings come out
 // byte-identical at any worker count.
 //
 // Quiescence is a live/not-done counter maintained from Done transitions
-// and scheduled deaths instead of an O(n) rescan per round; the per-round
-// transmitter/listener maps of the reference loop are replaced by reusable
-// per-shard scratch buffers, so a steady-state round allocates nothing.
+// and scheduled deaths instead of an O(n) rescan per round. All per-round
+// state lives in reusable per-shard scratch, phases are dispatched to a
+// persistent worker pool over buffered channels, and untraced runs skip
+// materializing Event values entirely (counters and the Seq cursor still
+// advance identically), so a steady-state round allocates nothing.
 
 // minParallelNodes is the graph size below which the default worker count
 // stays at 1 (phases run inline on the Run goroutine): shard bookkeeping
@@ -46,6 +55,17 @@ import (
 // overrides the heuristic — the equivalence tests use that to force
 // multi-shard execution on tiny graphs.
 const minParallelNodes = 1024
+
+// maxBitsetChannels bounds the per-channel transmitter bitset table.
+// Channels outside [0, maxBitsetChannels) — legal, just unindexed — fall
+// back to the action-walk candidate path. The protocols in this repo use
+// single-digit channel numbers; 1024 costs one slice header each.
+const maxBitsetChannels = 1024
+
+// denseRowsMaxBytes caps the memory spent on full per-node neighbor bitset
+// rows (n² bits). Past this the bit-test walk over txBits still gives the
+// cache win without the quadratic footprint.
+const denseRowsMaxBytes = 256 << 20
 
 // SetWorkers fixes the number of shard workers for Run's act, resolve and
 // deliver phases. w <= 0 restores the default: GOMAXPROCS, except that
@@ -78,42 +98,70 @@ func (e *Engine) effectiveWorkers(n int) int {
 type shard struct {
 	lo, hi int
 
-	evAct []Event     // EvTransmit events, ascending node order
-	lis   []listenRec // this shard's listeners, ascending node order
-	cands []int32     // flat candidate-transmitter indices, see listenRec
+	txIdx []int32      // this round's transmitter indices, ascending
+	evAct []Event      // EvTransmit events, ascending node order (traced runs only)
+	evRx  []Event      // rx-phase events: per listener losses then outcome (traced runs only)
+	cand  []int32      // per-listener candidate scratch, reset for each listener
+	deliv []deliverRec // successful receptions, ascending listener order
 
-	// dLo/dHi delimit this shard's slice of kernel.deliv after the merge.
-	dLo, dHi int
+	// Event tallies for the round; when traced, nRx == len(evRx).
+	nRx, nLoss, nDel, nCol int
+
+	// actBase/rxBase are the Seq values just before this shard's first
+	// transmit / rx-phase event, prefix-summed by the serial stitch steps;
+	// the next parallel phase renumbers the buffers from them.
+	actBase, rxBase uint64
+
 	// newlyDone counts Done false→true transitions seen this round.
 	newlyDone int
 }
 
-// listenRec records one listener and its candidate frames: the transmitting
-// live neighbors on its channel over live links, as cands[lo:hi], in
-// ascending transmitter order — the reference loop's coin order.
-type listenRec struct {
-	node   int32
-	ch     Channel
-	lo, hi int32
-}
-
-// deliverRec is one successful reception, decided in the merge and applied
-// by the deliver phase.
+// deliverRec is one successful reception, decided in resolve and applied by
+// the deliver phase. node is always inside its shard's [lo, hi).
 type deliverRec struct {
 	node int32
 	msg  Message
 }
 
+// phaseOp selects which shard phase a pool worker runs.
+type phaseOp int
+
+const (
+	opAct phaseOp = iota
+	opResolve
+	opDeliver
+)
+
+// phaseReq is one round-barrier message to a pool worker: run op for round.
+// Sent by value on a buffered channel so phase dispatch allocates nothing.
+type phaseReq struct {
+	op    phaseOp
+	round int
+}
+
 // kernel is the per-Run state of the three-phase engine: dense node
-// indexing, precomputed index-space adjacency, failure schedules bucketed
-// by round, and the per-shard scratch.
+// indexing, precomputed index-space adjacency, transmitter bitsets, failure
+// schedules bucketed by round, the per-shard scratch, and the worker pool.
 type kernel struct {
-	e     *Engine
-	nodes []graph.NodeID
-	idx   map[graph.NodeID]int32
-	progs []Program
-	skews []int
-	nbrs  [][]int32 // index-space adjacency, ascending (shares one backing array)
+	e      *Engine
+	nodes  []graph.NodeID
+	idx    map[graph.NodeID]int32
+	progs  []Program
+	skews  []int
+	nbrs   [][]int32 // index-space adjacency, ascending (shares one backing array)
+	traced bool      // any trace hook installed; untraced runs skip Event staging
+
+	// txWords is the per-bitset word count, (n+63)/64. txBits[ch] is the
+	// round's transmitter bitset for channel ch (bit i set iff node index i
+	// transmits on ch this round), allocated lazily per channel and zeroed
+	// between rounds via the chUsed/chDirty ledger. denseRows, when
+	// non-nil, is a flat n×txWords neighbor-row matrix for word-wise
+	// row∩txBits intersection on very dense graphs.
+	txWords   int
+	txBits    [][]uint64
+	chUsed    []Channel
+	chDirty   []bool
+	denseRows []uint64
 
 	// deadAt is the round the node dies (alive during round r iff
 	// r < deadAt); neverDies for unscheduled nodes.
@@ -135,7 +183,13 @@ type kernel struct {
 	awake, listens, transmits []int    // per-node counters, owned by the node's shard
 
 	shards []shard
-	deliv  []deliverRec // merged receptions, ascending node order
+
+	// Worker pool: one goroutine per shard, fed phaseReq values over its
+	// own buffered channel and joined through wg — a persistent round
+	// barrier instead of per-round goroutine spawns. reqs is nil when the
+	// kernel runs single-shard inline.
+	reqs []chan phaseReq
+	wg   sync.WaitGroup
 }
 
 const neverDies = int(^uint(0) >> 1)
@@ -165,6 +219,7 @@ func (e *Engine) newKernel() *kernel {
 		awake:     make([]int, n),
 		listens:   make([]int, n),
 		transmits: make([]int, n),
+		traced:    e.trace != nil || e.traceBatch != nil,
 	}
 	for i, id := range nodes {
 		k.idx[id] = int32(i)
@@ -179,12 +234,33 @@ func (e *Engine) newKernel() *kernel {
 	e.g.WarmAdjacency()
 	flat := make([]int32, 0, 2*e.g.NumEdges())
 	k.nbrs = make([][]int32, n)
+	maxDeg := 0
 	for i, id := range nodes {
 		start := len(flat)
 		for _, v := range e.g.Neighbors(id) {
 			flat = append(flat, k.idx[v])
 		}
 		k.nbrs[i] = flat[start:len(flat):len(flat)]
+		if d := len(k.nbrs[i]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+
+	// Transmitter bitsets (resolve's fast candidate paths). Full neighbor
+	// rows only pay when some listener's degree reaches the per-row word
+	// count — below that the bit-test walk over its neighbor list touches
+	// fewer words — and when the n×n/64-byte matrix stays affordable.
+	k.txWords = (n + 63) / 64
+	k.txBits = make([][]uint64, maxBitsetChannels)
+	k.chDirty = make([]bool, maxBitsetChannels)
+	if maxDeg >= k.txWords && n*k.txWords*8 <= denseRowsMaxBytes {
+		k.denseRows = make([]uint64, n*k.txWords)
+		for i := range k.nbrs {
+			row := k.denseRows[i*k.txWords : (i+1)*k.txWords]
+			for _, j := range k.nbrs[i] {
+				row[j>>6] |= 1 << (uint(j) & 63)
+			}
+		}
 	}
 
 	// Bucket the failure schedules by round (satellite bugfix: the
@@ -239,8 +315,64 @@ func (e *Engine) newKernel() *kernel {
 	return k
 }
 
+// startPool launches one persistent goroutine per shard; each consumes
+// phaseReq barriers from its own buffered channel until stopPool closes it.
+func (k *kernel) startPool() {
+	k.reqs = make([]chan phaseReq, len(k.shards))
+	for s := range k.shards {
+		k.reqs[s] = make(chan phaseReq, 1)
+		go k.worker(s)
+	}
+}
+
+func (k *kernel) stopPool() {
+	for s := range k.reqs {
+		close(k.reqs[s])
+	}
+}
+
+func (k *kernel) worker(s int) {
+	sh := &k.shards[s]
+	for req := range k.reqs[s] {
+		k.runPhase(sh, req.op, req.round)
+		k.wg.Done()
+	}
+}
+
+func (k *kernel) runPhase(sh *shard, op phaseOp, round int) {
+	switch op {
+	case opAct:
+		k.act(sh, round)
+	case opResolve:
+		k.resolve(sh, round)
+	case opDeliver:
+		k.deliverAndDone(sh, round)
+	}
+}
+
+// phase runs op over every shard — inline for one shard, on the pool
+// otherwise. The channel sends and the WaitGroup give every phase boundary
+// a happens-before edge in each direction, which is what lets workers read
+// the full actions slice (and the serial steps' prefix-summed bases) during
+// later phases and lets the serial steps read all shard scratch.
+func (k *kernel) phase(op phaseOp, round int) {
+	if k.reqs == nil {
+		k.runPhase(&k.shards[0], op, round)
+		return
+	}
+	k.wg.Add(len(k.shards))
+	for s := range k.reqs {
+		k.reqs[s] <- phaseReq{op: op, round: round}
+	}
+	k.wg.Wait()
+}
+
 func (k *kernel) run(maxRounds int) Result {
 	e := k.e
+	if len(k.shards) > 1 {
+		k.startPool()
+		defer k.stopPool()
+	}
 	res := Result{
 		Awake:     make(map[graph.NodeID]int, len(k.nodes)),
 		Listens:   make(map[graph.NodeID]int, len(k.nodes)),
@@ -265,26 +397,51 @@ func (k *kernel) run(maxRounds int) Result {
 			return res
 		}
 
-		// Act: node-local, sharded. Merge the per-shard transmit events in
-		// shard order = ascending node order.
-		k.phase(func(sh *shard) { k.act(sh, round) })
+		// Act: node-local, sharded.
+		k.phase(opAct, round)
+
+		// Serial stitch A: prefix-sum the transmit-event counts into
+		// per-shard Seq bases (shard order = ascending node order = the
+		// reference emission order), advance the Seq cursor past them, and
+		// build this round's transmitter bitsets.
+		txTotal := 0
 		for s := range k.shards {
 			sh := &k.shards[s]
-			res.Transmissions += len(sh.evAct)
-			for i := range sh.evAct {
-				e.emit(sh.evAct[i])
-			}
+			sh.actBase = e.seq + uint64(txTotal)
+			txTotal += len(sh.txIdx)
 		}
+		e.seq += uint64(txTotal)
+		res.Transmissions += txTotal
+		k.buildTxBits()
 
-		// Resolve: node-local, sharded; no RNG, no events yet.
-		k.phase(func(sh *shard) { k.resolve(sh, round) })
-		k.mergeResolve(round, &res)
+		// Resolve: node-local, sharded; stamps the act buffers, draws each
+		// listener's coins in-shard, stages rx events.
+		k.phase(opResolve, round)
 
-		// Deliver receptions and re-evaluate Done where it could have
-		// flipped: node-local again.
-		k.phase(func(sh *shard) { k.deliverAndDone(sh, round) })
+		// Serial stitch B: hand the stamped transmit buffers to the trace
+		// hooks in shard order, prefix-sum the rx-event counts into bases,
+		// and fold the shard tallies into the Result.
+		rxTotal := 0
 		for s := range k.shards {
-			k.notDone -= k.shards[s].newlyDone
+			sh := &k.shards[s]
+			e.sinkBatch(sh.evAct)
+			sh.rxBase = e.seq + uint64(rxTotal)
+			rxTotal += sh.nRx
+			res.Losses += sh.nLoss
+			res.Deliveries += sh.nDel
+			res.Collisions += sh.nCol
+		}
+		e.seq += uint64(rxTotal)
+
+		// Deliver: node-local, sharded; stamps the rx buffers, applies
+		// receptions, re-evaluates Done where it could have flipped.
+		k.phase(opDeliver, round)
+
+		// Serial stitch C: sink the stamped rx buffers, refresh quiescence.
+		for s := range k.shards {
+			sh := &k.shards[s]
+			e.sinkBatch(sh.evRx)
+			k.notDone -= sh.newlyDone
 		}
 		res.Rounds = round
 	}
@@ -301,32 +458,61 @@ func (k *kernel) run(maxRounds int) Result {
 	return res
 }
 
-// phase runs fn over every shard — inline for one shard, on worker
-// goroutines otherwise. The WaitGroup gives every phase boundary a
-// happens-before edge, which is what lets workers read the full actions
-// slice during resolve and lets the merge read all scratch buffers.
-func (k *kernel) phase(fn func(*shard)) {
-	if len(k.shards) == 1 {
-		fn(&k.shards[0])
-		return
+// stampSeq renumbers one shard's staged events from its prefix-summed base:
+// evs[i].Seq = base+1+i. Together with the serial stitch steps this is the
+// only sanctioned Event.Seq writer in the parallel phases — the stitch
+// guarantees the bases partition the same contiguous Seq range the serial
+// merge would have assigned.
+//
+//dynlint:seqstitch renumbering from prefix-summed bases is the sanctioned parallel Seq write
+func stampSeq(evs []Event, base uint64) {
+	for i := range evs {
+		evs[i].Seq = base + 1 + uint64(i)
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(k.shards))
+}
+
+// buildTxBits zeroes the channels dirtied last round and sets one bit per
+// transmitter in its channel's bitset. Runs on the Run goroutine between
+// the act and resolve phases; out-of-range channels stay unindexed (their
+// listeners take resolve's action-walk path).
+func (k *kernel) buildTxBits() {
+	for _, ch := range k.chUsed {
+		b := k.txBits[ch]
+		for w := range b {
+			b[w] = 0
+		}
+		k.chDirty[ch] = false
+	}
+	k.chUsed = k.chUsed[:0]
 	for s := range k.shards {
-		go func(sh *shard) {
-			defer wg.Done()
-			fn(sh)
-		}(&k.shards[s])
+		sh := &k.shards[s]
+		for _, t := range sh.txIdx {
+			ch := k.actions[t].Channel
+			if ch < 0 || ch >= maxBitsetChannels {
+				continue
+			}
+			b := k.txBits[ch]
+			if b == nil {
+				b = make([]uint64, k.txWords)
+				k.txBits[ch] = b
+			}
+			if !k.chDirty[ch] {
+				k.chDirty[ch] = true
+				k.chUsed = append(k.chUsed, ch)
+			}
+			b[t>>6] |= 1 << (uint(t) & 63)
+		}
 	}
-	wg.Wait()
 }
 
 // act is the first shard phase: collect every live node's action for the
-// round and stage transmit events in the shard's buffer for the merge.
+// round, record transmitter indices for the bitset build, and (traced runs)
+// stage transmit events for the stitch.
 //
 //dynlint:shardsafe act runs concurrently per shard
 //dynlint:hotpath per node per round
 func (k *kernel) act(sh *shard, round int) {
+	sh.txIdx = sh.txIdx[:0]
 	sh.evAct = sh.evAct[:0]
 	for i := sh.lo; i < sh.hi; i++ {
 		if round >= k.deadAt[i] {
@@ -345,7 +531,10 @@ func (k *kernel) act(sh *shard, round int) {
 			k.awake[i]++
 			k.transmits[i]++
 			a.Msg.From = id
-			sh.evAct = append(sh.evAct, Event{Round: round, Kind: EvTransmit, Node: id, Channel: a.Channel, Msg: a.Msg})
+			sh.txIdx = append(sh.txIdx, int32(i))
+			if k.traced {
+				sh.evAct = append(sh.evAct, Event{Round: round, Kind: EvTransmit, Node: id, Channel: a.Channel, Msg: a.Msg})
+			}
 		default:
 			//lint:ignore dynlint/panics a Program returning an undefined ActionKind is a protocol bug, not an input; failing loud beats mis-accounting energy
 			panic(fmt.Sprintf("radio: node %d returned invalid action kind %d", id, a.Kind))
@@ -354,92 +543,141 @@ func (k *kernel) act(sh *shard, round int) {
 	}
 }
 
-// resolve is the second shard phase: for each listener in the shard, record
-// the candidate transmitters on its channel; no coins, no events — the merge
-// draws losses so the RNG order matches the reference loop.
+// resolve is the second shard phase: stamp the shard's transmit events from
+// their stitched base, then for each listener enumerate candidate
+// transmitters in ascending order (one of three paths, all order-identical
+// to the reference loop), draw the listener's loss coins from its
+// (seed, listener, round) counter stream, and stage rx events and
+// deliveries. Coins are in-shard because the streams of distinct listeners
+// never interact (rng.go); no cross-shard state is written.
 //
 //dynlint:shardsafe resolve runs concurrently per shard
 //dynlint:hotpath per listener per round
 func (k *kernel) resolve(sh *shard, round int) {
-	sh.lis = sh.lis[:0]
-	sh.cands = sh.cands[:0]
-	hasLinkFails := len(k.e.linkFail) > 0
+	stampSeq(sh.evAct, sh.actBase)
+	sh.evRx = sh.evRx[:0]
+	sh.deliv = sh.deliv[:0]
+	sh.nRx, sh.nLoss, sh.nDel, sh.nCol = 0, 0, 0, 0
+	e := k.e
+	hasLinkFails := len(e.linkFail) > 0
+	lossy := e.lossRate > 0
 	for i := sh.lo; i < sh.hi; i++ {
 		a := &k.actions[i]
 		if a.Kind != Listen {
 			continue
 		}
-		lo := int32(len(sh.cands))
-		for _, j := range k.nbrs[i] {
-			t := &k.actions[j]
-			// Dead nodes carry a zeroed (Sleep) action, so neighbor
-			// enumeration needs no extra liveness check; a node is never
-			// its own neighbor, so the reference loop's self-skip is
-			// structural here.
-			if t.Kind != Transmit || t.Channel != a.Channel {
-				continue
-			}
-			if hasLinkFails && !k.e.linkAlive(k.nodes[i], k.nodes[j], round) {
-				continue
-			}
-			sh.cands = append(sh.cands, j)
-		}
-		sh.lis = append(sh.lis, listenRec{node: int32(i), ch: a.Channel, lo: lo, hi: int32(len(sh.cands))})
-	}
-}
+		ch := a.Channel
+		id := k.nodes[i]
 
-// mergeResolve is the sequential heart of the determinism argument: walking
-// shards in order visits listeners in ascending node order and candidates
-// in ascending transmitter order — exactly the reference loop's order — so
-// loss coins come off the engine RNG in the same sequence and events get
-// the same Seq numbers. It is also the only place the trace hook runs, so
-// hook consumers (trace sinks, obs collectors, flight writers) stay
-// single-goroutine.
-//
-//dynlint:hotpath per candidate per round
-func (k *kernel) mergeResolve(round int, res *Result) {
-	e := k.e
-	k.deliv = k.deliv[:0]
-	for s := range k.shards {
-		sh := &k.shards[s]
-		sh.dLo = len(k.deliv)
-		for _, lr := range sh.lis {
-			id := k.nodes[lr.node]
-			heard := 0
-			first := int32(-1)
-			for _, j := range sh.cands[lr.lo:lr.hi] {
-				if e.frameLost() {
-					res.Losses++
-					e.emit(Event{Round: round, Kind: EvLoss, Node: id, Peer: k.nodes[j], Channel: lr.ch, Msg: k.actions[j].Msg})
+		// Candidate enumeration. All three paths yield the transmitting
+		// live-link neighbors on ch in ascending index order — the coin
+		// order the reference loop commits to. Dead nodes carry a zeroed
+		// (Sleep) action and no bitset bit, so neighbor enumeration needs
+		// no extra liveness check; a node is never its own neighbor, so
+		// the reference loop's self-skip is structural here.
+		sh.cand = sh.cand[:0]
+		if ch >= 0 && ch < maxBitsetChannels {
+			bits64 := k.txBits[ch]
+			if bits64 == nil {
+				// No transmitter anywhere used ch this round: the bitset
+				// was never allocated, and there are no candidates.
+				continue
+			}
+			if k.denseRows != nil && len(k.nbrs[i]) >= k.txWords {
+				// Dense path: word-wise neighbor-row ∩ transmitter-bitset.
+				row := k.denseRows[i*k.txWords : (i+1)*k.txWords]
+				for w := 0; w < k.txWords; w++ {
+					m := row[w] & bits64[w]
+					for m != 0 {
+						j := int32(w<<6 + bits.TrailingZeros64(m))
+						m &= m - 1
+						if hasLinkFails && !e.linkAlive(id, k.nodes[j], round) {
+							continue
+						}
+						sh.cand = append(sh.cand, j)
+					}
+				}
+			} else {
+				// Sparse path: bit-test the transmitter bitset per
+				// neighbor — one bit load instead of an Action struct.
+				for _, j := range k.nbrs[i] {
+					if bits64[j>>6]&(1<<(uint(j)&63)) == 0 {
+						continue
+					}
+					if hasLinkFails && !e.linkAlive(id, k.nodes[j], round) {
+						continue
+					}
+					sh.cand = append(sh.cand, j)
+				}
+			}
+		} else {
+			// Out-of-range channel: walk the neighbor actions directly.
+			for _, j := range k.nbrs[i] {
+				t := &k.actions[j]
+				if t.Kind != Transmit || t.Channel != ch {
 					continue
 				}
-				if heard == 0 {
-					first = j
+				if hasLinkFails && !e.linkAlive(id, k.nodes[j], round) {
+					continue
 				}
-				heard++
-			}
-			switch {
-			case heard == 1:
-				res.Deliveries++
-				msg := k.actions[first].Msg
-				e.emit(Event{Round: round, Kind: EvDeliver, Node: id, Peer: k.nodes[first], Channel: lr.ch, Msg: msg})
-				k.deliv = append(k.deliv, deliverRec{node: lr.node, msg: msg})
-			case heard > 1:
-				res.Collisions++
-				e.emit(Event{Round: round, Kind: EvCollision, Node: id, Channel: lr.ch})
+				sh.cand = append(sh.cand, j)
 			}
 		}
-		sh.dHi = len(k.deliv)
+		if len(sh.cand) == 0 {
+			continue
+		}
+
+		// Coins and outcome: one draw per candidate in candidate order,
+		// losses staged as they fall, then exactly one outcome event.
+		var st lossStream
+		if lossy {
+			st = newLossStream(e.lossSeed, id, round)
+		}
+		heard := 0
+		first := int32(-1)
+		for _, j := range sh.cand {
+			if lossy && st.next() < e.lossRate {
+				sh.nLoss++
+				sh.nRx++
+				if k.traced {
+					sh.evRx = append(sh.evRx, Event{Round: round, Kind: EvLoss, Node: id, Peer: k.nodes[j], Channel: ch, Msg: k.actions[j].Msg})
+				}
+				continue
+			}
+			if heard == 0 {
+				first = j
+			}
+			heard++
+		}
+		switch {
+		case heard == 1:
+			sh.nDel++
+			sh.nRx++
+			msg := k.actions[first].Msg
+			if k.traced {
+				sh.evRx = append(sh.evRx, Event{Round: round, Kind: EvDeliver, Node: id, Peer: k.nodes[first], Channel: ch, Msg: msg})
+			}
+			sh.deliv = append(sh.deliv, deliverRec{node: int32(i), msg: msg})
+		case heard > 1:
+			sh.nCol++
+			sh.nRx++
+			if k.traced {
+				sh.evRx = append(sh.evRx, Event{Round: round, Kind: EvCollision, Node: id, Channel: ch})
+			}
+		}
 	}
 }
 
-// deliverAndDone is the third shard phase: hand the merge's deliveries to
-// the shard's Programs and refresh the quiescence counter.
+// deliverAndDone is the third shard phase: stamp the shard's rx events from
+// their stitched base, hand resolve's deliveries to the shard's Programs
+// (every delivery's listener is inside the shard by construction), and
+// refresh the quiescence counter.
 //
 //dynlint:shardsafe deliverAndDone runs concurrently per shard
 //dynlint:hotpath per node per round
 func (k *kernel) deliverAndDone(sh *shard, round int) {
-	for _, d := range k.deliv[sh.dLo:sh.dHi] {
+	stampSeq(sh.evRx, sh.rxBase)
+	for _, d := range sh.deliv {
 		k.progs[d.node].Deliver(round+k.skews[d.node], d.msg)
 	}
 	sh.newlyDone = 0

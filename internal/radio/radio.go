@@ -239,19 +239,22 @@ func mkLink(u, v graph.NodeID) linkKey {
 
 // Engine drives a set of Programs over a graph.
 type Engine struct {
-	g        *graph.Graph
-	programs map[graph.NodeID]Program
-	nodeFail map[graph.NodeID]int // node -> round it dies (inclusive)
-	linkFail map[linkKey]int      // link -> round it is cut (inclusive)
-	skew     map[graph.NodeID]int // node -> local clock offset in rounds
-	trace    func(Event)
-	seq      uint64 // monotonic Event.Seq counter
-	workers  int    // shard workers for Run's parallel phases; 0 = default
+	g          *graph.Graph
+	programs   map[graph.NodeID]Program
+	nodeFail   map[graph.NodeID]int // node -> round it dies (inclusive)
+	linkFail   map[linkKey]int      // link -> round it is cut (inclusive)
+	skew       map[graph.NodeID]int // node -> local clock offset in rounds
+	trace      func(Event)
+	traceBatch func([]Event)
+	one        [1]Event // reusable single-event batch for emit
+	seq        uint64   // monotonic Event.Seq counter
+	workers    int      // shard workers for Run's parallel phases; 0 = default
 
 	// lossRate drops each (transmitter, listener, round) frame
-	// independently with this probability; lossRng drives the coins.
+	// independently with this probability; lossSeed keys the per-(listener,
+	// round) counter streams (see rng.go) that draw the coins.
 	lossRate float64
-	lossRng  *rand.Rand
+	lossSeed uint64
 }
 
 // NewEngine builds an engine over g. programs must contain an entry for
@@ -274,8 +277,21 @@ func NewEngine(g *graph.Graph, programs map[graph.NodeID]Program) (*Engine, erro
 	}, nil
 }
 
-// SetTrace installs a trace callback (nil disables tracing).
+// SetTrace installs a per-event trace callback (nil disables it). The
+// callback runs on the engine's run goroutine, in the deterministic event
+// order, at any worker count.
 func (e *Engine) SetTrace(fn func(Event)) { e.trace = fn }
+
+// SetTraceBatch installs a batched trace callback (nil disables it): the
+// engine hands over contiguous runs of events — one call per shard buffer
+// per phase per round — instead of one call per event, which keeps
+// instrumentation off the per-event hot path. Batches arrive on the run
+// goroutine, already Seq-stamped, in the same deterministic global order
+// SetTrace observes; concatenating them reproduces the per-event stream
+// exactly. The slice is reused by the engine: consumers must copy events
+// they retain past the callback's return. Both hooks may be installed at
+// once; each sees every event exactly once.
+func (e *Engine) SetTraceBatch(fn func([]Event)) { e.traceBatch = fn }
 
 // FailNodeAt schedules node id to die at the start of round r (1-based);
 // from round r on it neither transmits nor listens.
@@ -296,27 +312,31 @@ func (e *Engine) localRound(id graph.NodeID, round int) int { return round + e.s
 // SetLoss makes every frame be lost independently with probability rate on
 // each listener (fading, interference from outside the model). Lost frames
 // are neither delivered nor do they jam: the listener simply never hears
-// them. Determinstic per seed.
+// them. Deterministic per seed: coins come from counter-based splitmix64
+// streams keyed by (seed, listener, round) — see rng.go — so the coin for a
+// given frame does not depend on what any other listener heard, and the
+// kernel can draw it in-shard. The scheme changed in the stream-RNG
+// revision: runs with the same seed draw different coins than the old
+// serial-*rand.Rand engine did (flight recordings carry the scheme name in
+// their header so old recordings stay interpretable).
 func (e *Engine) SetLoss(rate float64, seed int64) error {
-	return e.SetLossRand(rate, rand.New(rand.NewSource(seed)))
-}
-
-// SetLossRand is SetLoss with an injected source, for callers that thread
-// one seeded stream through several randomized components.
-func (e *Engine) SetLossRand(rate float64, rng *rand.Rand) error {
 	if rate < 0 || rate >= 1 {
 		return fmt.Errorf("radio: loss rate %v out of [0,1)", rate)
 	}
-	if rng == nil {
-		return fmt.Errorf("radio: nil rand source")
-	}
 	e.lossRate = rate
-	e.lossRng = rng
+	e.lossSeed = uint64(seed)
 	return nil
 }
 
-func (e *Engine) frameLost() bool {
-	return e.lossRate > 0 && e.lossRng.Float64() < e.lossRate
+// SetLossRand is SetLoss for callers that thread one seeded *rand.Rand
+// through several randomized components: it consumes a single Uint64 from
+// rng to key the engine's counter streams, leaving the rest of the caller's
+// stream untouched.
+func (e *Engine) SetLossRand(rate float64, rng *rand.Rand) error {
+	if rng == nil {
+		return fmt.Errorf("radio: nil rand source")
+	}
+	return e.SetLoss(rate, int64(rng.Uint64()))
 }
 
 func (e *Engine) nodeAlive(id graph.NodeID, round int) bool {
@@ -334,6 +354,28 @@ func (e *Engine) emit(ev Event) {
 	ev.Seq = e.seq
 	if e.trace != nil {
 		e.trace(ev)
+	}
+	if e.traceBatch != nil {
+		e.one[0] = ev
+		e.traceBatch(e.one[:])
+	}
+}
+
+// sinkBatch forwards one deterministic run of Seq-stamped events to the
+// installed hooks: the batch hook sees the whole slice once, the per-event
+// hook sees each event in order. The kernel calls this once per shard
+// buffer per phase per round from its serial stitch.
+func (e *Engine) sinkBatch(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	if e.trace != nil {
+		for i := range evs {
+			e.trace(evs[i])
+		}
+	}
+	if e.traceBatch != nil {
+		e.traceBatch(evs)
 	}
 }
 
@@ -441,6 +483,14 @@ func (e *Engine) RunReference(maxRounds int) Result {
 			if !ok {
 				continue
 			}
+			// Loss coins come from the listener's (seed, id, round) counter
+			// stream, one draw per reachable candidate in ascending
+			// transmitter order. That order — not the draw site — is the
+			// contract the kernel reproduces in-shard (see rng.go).
+			var st lossStream
+			if e.lossRate > 0 {
+				st = newLossStream(e.lossSeed, id, round)
+			}
 			var heard []tx
 			for _, t := range transmitters[ch] {
 				if t.from == id {
@@ -452,7 +502,7 @@ func (e *Engine) RunReference(maxRounds int) Result {
 				if !e.linkAlive(id, t.from, round) {
 					continue
 				}
-				if e.frameLost() {
+				if e.lossRate > 0 && st.next() < e.lossRate {
 					res.Losses++
 					e.emit(Event{Round: round, Kind: EvLoss, Node: id, Peer: t.from, Channel: ch, Msg: t.msg})
 					continue

@@ -1,0 +1,60 @@
+package radio
+
+import "dynsens/internal/graph"
+
+// Counter-based loss streams.
+//
+// The loss model needs one coin per (listener, transmitter, round) frame,
+// drawn identically by the reference loop and the kernel at any worker
+// count. A single shared *rand.Rand forces a global draw order — that was
+// the kernel's serial merge wall — so coins instead come from splitmix64
+// counter streams keyed by (lossSeed, listener, round): any shard can
+// compute any listener's coins locally, with zero cross-shard ordering
+// dependency, and both engines consume each stream in the same in-stream
+// order (ascending candidate-transmitter order, the reference loop's
+// order). Streams for different (listener, round) pairs never interact, so
+// the scheme is deterministic per seed by construction rather than by
+// serialization.
+//
+// splitmix64 (Steele, Lea & Flood; the seeding generator of
+// java.util.SplittableRandom and xoshiro) is used both as the key mixer
+// and the per-draw generator: a 64-bit Weyl sequence with increment
+// smGamma, finalized by mix64. It is not cryptographic — it only has to be
+// statistically flat and cheap enough to live inside the resolve phase's
+// per-candidate loop.
+
+// smGamma is the splitmix64 Weyl-sequence increment (the golden ratio in
+// 0.64 fixed point).
+const smGamma = 0x9E3779B97F4A7C15
+
+// mix64 is the splitmix64 output finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// lossStream is one (listener, round) coin stream. The zero value is not a
+// valid stream; build one with newLossStream.
+type lossStream struct {
+	s uint64
+}
+
+// newLossStream keys the stream. Node and round enter through separate
+// mixing stages (not a plain xor of the raw values) so that nearby
+// (node, round) pairs — the common case: every node, every round — land in
+// unrelated parts of the sequence space.
+func newLossStream(seed uint64, node graph.NodeID, round int) lossStream {
+	s := mix64(seed + smGamma)
+	s = mix64(s ^ (uint64(int64(node))*0xA24BAED4963EE407 + smGamma))
+	s = mix64(s ^ (uint64(int64(round))*0x9FB21C651E98DF25 + smGamma))
+	return lossStream{s: s}
+}
+
+// next returns the stream's next coin, uniform in [0, 1). The k-th call
+// for a given key is the same value in every engine — the candidate index
+// is the counter.
+func (l *lossStream) next() float64 {
+	l.s += smGamma
+	return float64(mix64(l.s)>>11) / (1 << 53)
+}

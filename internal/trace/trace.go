@@ -3,10 +3,11 @@
 // on the air: who transmitted on which channel, who received from whom,
 // where collisions happened, and which nodes died.
 //
-// Recorders need no locking: the radio engine invokes its trace hook from
-// a single goroutine (the kernel's sequential merge phase) regardless of
-// its worker count, and the event stream — Seq numbers included — is
-// byte-identical at any radio.Engine.SetWorkers value.
+// Recorders need no locking: the radio engine invokes its trace hooks —
+// per-event and batched alike — from a single goroutine (the kernel's
+// serial stitch steps between phases) regardless of its worker count, and
+// the event stream — Seq numbers included — is byte-identical at any
+// radio.Engine.SetWorkers value.
 package trace
 
 import (
@@ -61,6 +62,27 @@ func (r *Recorder) Hook() func(radio.Event) {
 			return
 		}
 		r.events = append(r.events, ev)
+	}
+}
+
+// BatchHook returns the callback to install with Engine.SetTraceBatch or
+// broadcast.Options.TraceBatch: one call per shard buffer per phase per
+// round instead of one per event, same events in the same order. The
+// engine reuses the batch slice between calls, so the events are copied
+// into the recorder's own storage here.
+func (r *Recorder) BatchHook() func([]radio.Event) {
+	return func(evs []radio.Event) {
+		if r.limit > 0 {
+			if room := r.limit - len(r.events); room < len(evs) {
+				d := len(evs) - room
+				r.dropped += d
+				if r.dropCtr != nil {
+					r.dropCtr.Add(int64(d))
+				}
+				evs = evs[:room]
+			}
+		}
+		r.events = append(r.events, evs...)
 	}
 }
 

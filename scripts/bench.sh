@@ -2,16 +2,18 @@
 # bench.sh — run the PR2 scaling benchmarks (grid index and allocation-free
 # adjacency vs the retained all-pairs baselines) and record the numbers in
 # BENCH_PR2.json, including the derived churn/mobility replay speedups at
-# n=2000 the performance doc cites. Then run the PR5 engine-kernel
-# benchmarks (three-phase kernel vs the retained reference loop, at 1 and
-# ENGINE_GOMAXPROCS workers) and record BENCH_PR5.json with the
-# kernel-vs-reference speedups the acceptance criteria cite.
+# n=2000 the performance doc cites. Then run the engine benchmarks (kernel
+# worker sweep vs the retained reference loop) under a pinned GOMAXPROCS
+# and record BENCH_PR5.json (kernel-vs-reference speedups) and
+# BENCH_PR7.json (parallel-deliver worker scaling: wN-vs-w1 ratios across
+# BenchmarkEngineRun plus the BenchmarkEngineScale n∈{200k, 1M} sparse
+# legs, with the host CPU count so single-core numbers read honestly).
 #
 # Usage:
 #   scripts/bench.sh               # default -benchtime 2x
 #   BENCHTIME=10x scripts/bench.sh # more iterations, steadier numbers
 #   OUT=/tmp/b.json scripts/bench.sh
-#   ENGINE_GOMAXPROCS=8 scripts/bench.sh  # worker count for the PR5 leg
+#   ENGINE_GOMAXPROCS=8 scripts/bench.sh  # pinned procs for the engine legs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,9 +73,12 @@ END {
 echo "wrote $OUT" >&2
 
 # --- PR5: radio-engine kernel vs reference loop -----------------------------
-# The engine benchmarks run under a fixed GOMAXPROCS so the workers=N leg is
-# meaningful on any host; determinism is not at stake (results are
+# The engine benchmarks run under a fixed GOMAXPROCS so the workers=N legs
+# are meaningful on any host; determinism is not at stake (results are
 # byte-identical at any worker count), only wall-clock time is measured.
+# One BenchmarkEngineRun pass feeds both BENCH_PR5.json (below) and the
+# PR7 scaling report (further below) — the reference legs dominate the
+# runtime, so they are not run twice.
 ENGINE_GOMAXPROCS="${ENGINE_GOMAXPROCS:-4}"
 OUT5="${OUT5:-BENCH_PR5.json}"
 RAW5="$(mktemp)"
@@ -82,7 +87,7 @@ trap 'rm -f "$RAW" "$RAW5"' EXIT
 echo "running engine benchmarks (GOMAXPROCS=$ENGINE_GOMAXPROCS, -benchtime $BENCHTIME)..." >&2
 GOMAXPROCS="$ENGINE_GOMAXPROCS" go test -run '^$' \
   -bench '^BenchmarkEngineRun$' \
-  -benchtime "$BENCHTIME" -benchmem ./internal/radio | tee "$RAW5" >&2
+  -benchtime "$BENCHTIME" -benchmem -timeout 90m ./internal/radio | tee "$RAW5" >&2
 
 awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" -v procs="$ENGINE_GOMAXPROCS" '
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
@@ -146,3 +151,78 @@ END {
 ' "$RAW5" > "$OUT5"
 
 echo "wrote $OUT5" >&2
+
+# --- PR7: parallel-deliver worker scaling -----------------------------------
+# BenchmarkEngineScale covers the sizes the parallel-deliver kernel exists
+# for (n = 200k and 10⁶, sparse; no reference leg — the quadratic loop
+# would take hours at 10⁶). Its raw output joins the EngineRun sweep
+# already captured above, and the derived wN-vs-w1 ratios land in
+# BENCH_PR7.json. "cpus" records the host's CPU count: on a single-CPU
+# container the ratios hover at or below 1× (pure coordination overhead,
+# no parallel hardware) and must be read alongside that field.
+OUT7="${OUT7:-BENCH_PR7.json}"
+RAW7="$(mktemp)"
+trap 'rm -f "$RAW" "$RAW5" "$RAW7"' EXIT
+
+echo "running engine scale benchmarks (GOMAXPROCS=$ENGINE_GOMAXPROCS, -benchtime $BENCHTIME)..." >&2
+GOMAXPROCS="$ENGINE_GOMAXPROCS" go test -run '^$' \
+  -bench '^BenchmarkEngineScale$' \
+  -benchtime "$BENCHTIME" -benchmem -timeout 90m ./internal/radio | tee "$RAW7" >&2
+
+cat "$RAW5" "$RAW7" | awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" \
+  -v procs="$ENGINE_GOMAXPROCS" -v cpus="$(nproc)" '
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ && NF >= 4 {
+    name = $1; iters = $2; ns = $3
+    sub(/-[0-9]+$/, "", name)
+    bytes = ""; allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op")      bytes  = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    n++
+    names[n] = name; its[n] = iters; nss[n] = ns
+    bs[n] = bytes; as[n] = allocs
+    ns_by_name[name] = ns
+}
+END {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"cpus\": %s,\n", cpus
+    printf "  \"gomaxprocs\": %s,\n", procs
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", names[i], its[i], nss[i]
+        if (bs[i] != "") printf ", \"bytes_per_op\": %s", bs[i]
+        if (as[i] != "") printf ", \"allocs_per_op\": %s", as[i]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ],\n"
+    printf "  \"speedups\": {\n"
+    sep = ""
+    nb = split("EngineRun/n=2000/sparse EngineRun/n=2000/dense " \
+               "EngineRun/n=10000/sparse EngineRun/n=10000/dense " \
+               "EngineRun/n=50000/sparse EngineRun/n=50000/dense " \
+               "EngineScale/n=200000/sparse EngineScale/n=1000000/sparse", bases, " ")
+    for (b_i = 1; b_i <= nb; b_i++) {
+        base = "Benchmark" bases[b_i]
+        key = base
+        sub(/^BenchmarkEngine(Run|Scale)\//, "", key)
+        gsub(/[\/=]/, "_", key)
+        w1 = ns_by_name[base "/workers=1"]
+        for (w = 2; w <= 4; w += 2) {
+            wn = ns_by_name[base sprintf("/workers=%d", w)]
+            if (w1 > 0 && wn > 0) {
+                printf "%s    \"%s_w%d_vs_w1\": %.2f", sep, key, w, w1 / wn
+                sep = ",\n"
+            }
+        }
+    }
+    printf "\n  }\n}\n"
+}
+' > "$OUT7"
+
+echo "wrote $OUT7" >&2

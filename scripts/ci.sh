@@ -38,7 +38,10 @@ echo "== engine equivalence (workers matrix)"
 # The determinism proof for the shard-parallel radio kernel: the
 # equivalence suites must hold under -race at both a single-CPU schedule
 # and a genuinely parallel one (docs/architecture.md, "Determinism by
-# merge"). The tests themselves sweep engine worker counts 1/2/4/NumCPU.
+# construction"). The tests sweep engine worker counts 1/2/3/8/NumCPU,
+# and the EngineWorkers pattern pulls in TestEngineWorkersLargeSmoke —
+# the fast n=200k sparse run that exercises the parallel deliver phase,
+# counter RNG streams and Seq stitch at scale under the race detector.
 for procs in 1 4; do
     echo "-- GOMAXPROCS=$procs"
     GOMAXPROCS="$procs" go test -race -run 'EngineEquivalence|EngineWorkers|RunByteIdentical' \
