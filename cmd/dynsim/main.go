@@ -11,6 +11,7 @@
 //	dynsim -n 200 -protocol gather
 //	dynsim -n 300 -metrics metrics.prom -events trace.jsonl
 //	dynsim -n 500 -pprof localhost:6060
+//	dynsim -scenario testdata/scenarios/positive/sparse-rgg-icff.dsn
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"dynsens/internal/netio"
 	"dynsens/internal/obs"
 	"dynsens/internal/radio"
+	"dynsens/internal/scenario"
 	"dynsens/internal/workload"
 )
 
@@ -51,12 +53,51 @@ func main() {
 	flag.StringVar(&cfg.PprofAddr, "pprof", "", "serve net/http/pprof and /metrics on this address during the run")
 	flag.StringVar(&cfg.RecordPath, "record", "", "write a binary flight recording here (replay with: nettool replay)")
 	flag.IntVar(&cfg.RecordRing, "record-ring", 0, "bound the recording to the last N radio events (0 = keep all)")
+	scenarioPath := flag.String("scenario", "", "run a declarative .dsn scenario file instead (exit 1 if an assertion fails; see docs/scenarios.md)")
 	flag.Parse()
 
+	if *scenarioPath != "" {
+		os.Exit(runScenario(*scenarioPath, cfg))
+	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "dynsim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runScenario executes a .dsn scenario file through the shared scenario
+// runner. The file's spec overrides dynsim's topology/protocol flags;
+// -workers and -record still apply.
+func runScenario(path string, cfg runConfig) int {
+	s, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynsim: %v\n", err)
+		return 1
+	}
+	opts := scenario.RunOptions{Workers: cfg.Workers, Record: cfg.RecordPath != ""}
+	if scenario.FlightCapable(s.Spec.Protocol) {
+		opts.Verify = true
+	}
+	res, err := scenario.Run(s, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynsim: %v\n", err)
+		return 1
+	}
+	if err := res.Write(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dynsim: %v\n", err)
+		return 1
+	}
+	if cfg.RecordPath != "" {
+		if err := os.WriteFile(cfg.RecordPath, res.Recording, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dynsim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("recorded %d bytes to %s\n", len(res.Recording), cfg.RecordPath)
+	}
+	if !res.Passed() {
+		return 1
+	}
+	return 0
 }
 
 // runConfig carries every knob of one scenario; tests build it directly.

@@ -6,7 +6,11 @@
 // a flight recording made with dynsim -record, re-checks the paper's
 // invariants offline, and can export Chrome trace-event JSON, render the
 // timeline, walk one message's causal span tree, or explain why a node
-// never received.
+// never received. The "scenario" subcommand runs declarative .dsn scenario
+// files (see docs/scenarios.md): "scenario run" executes one through the
+// live stack and exits 1 if any assertion fails, "scenario verify"
+// re-evaluates a scenario's assertions offline against an existing
+// recording, and "scenario fmt" canonicalizes scenario files.
 //
 // Examples:
 //
@@ -17,6 +21,10 @@
 //	nettool replay run.dsfr
 //	nettool replay run.dsfr -chrome-trace trace.json
 //	nettool replay run.dsfr -why-missed 17
+//	nettool scenario run testdata/scenarios/positive/sparse-rgg-icff.dsn
+//	nettool scenario run examples/churn/churn.dsn -record churn.dsfr
+//	nettool scenario verify examples/churn/churn.dsn churn.dsfr
+//	nettool scenario fmt -l testdata/scenarios/positive/*.dsn
 package main
 
 import (
@@ -35,6 +43,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "scenario" {
+		os.Exit(runScenarioCmd(os.Args[2:]))
+	}
 	if len(os.Args) > 1 && os.Args[1] == "replay" {
 		// Accept both "replay <file> -flags" and "replay -flags <file>".
 		fs := flag.NewFlagSet("nettool replay", flag.ExitOnError)

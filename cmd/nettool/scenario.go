@@ -1,0 +1,188 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynsens/internal/flight"
+	"dynsens/internal/scenario"
+)
+
+// runScenarioCmd dispatches "nettool scenario run|verify|fmt". Exit codes:
+// 0 all assertions held, 1 an assertion failed or a setup error occurred,
+// 2 usage error.
+func runScenarioCmd(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "nettool: scenario wants a subcommand: run|verify|fmt")
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return scenarioRun(args[1:])
+	case "verify":
+		return scenarioVerify(args[1:])
+	case "fmt":
+		return scenarioFmt(args[1:])
+	}
+	fmt.Fprintf(os.Stderr, "nettool: unknown scenario subcommand %q (run|verify|fmt)\n", args[0])
+	return 2
+}
+
+// scenarioRun executes one .dsn scenario through the live stack.
+func scenarioRun(args []string) int {
+	fs := flag.NewFlagSet("nettool scenario run", flag.ExitOnError)
+	var (
+		recordPath = fs.String("record", "", "also write the run as a flight recording to this path")
+		workers    = fs.Int("workers", 0, "radio engine shard workers (0 = scenario/default)")
+		update     = fs.Bool("update", false, "refresh golden metrics/timeline sections in the file")
+		noVerify   = fs.Bool("no-verify", false, "skip the record/replay self-check on flight-capable protocols")
+	)
+	path, args := splitPath(args)
+	// ExitOnError: Parse cannot return a non-nil error here.
+	_ = fs.Parse(args)
+	if path == "" && fs.NArg() > 0 {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "nettool: scenario run needs a .dsn file")
+		return 2
+	}
+	s, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+		return 1
+	}
+	opts := scenario.RunOptions{Workers: *workers, Update: *update}
+	if *recordPath != "" {
+		opts.Record = true
+	}
+	if !*noVerify && scenario.FlightCapable(s.Spec.Protocol) {
+		opts.Verify = true
+	}
+	res, err := scenario.Run(s, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+		return 1
+	}
+	if err := res.Write(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+		return 1
+	}
+	if *recordPath != "" {
+		if err := os.WriteFile(*recordPath, res.Recording, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+			return 1
+		}
+		fmt.Printf("recorded %d bytes to %s\n", len(res.Recording), *recordPath)
+	}
+	if *update && res.Updated != nil {
+		if err := os.WriteFile(path, res.Updated, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+			return 1
+		}
+		fmt.Printf("updated goldens in %s\n", path)
+	}
+	if !res.Passed() {
+		return 1
+	}
+	return 0
+}
+
+// scenarioVerify re-evaluates a scenario's assertions offline against an
+// existing flight recording: no simulation runs. Assertions that need
+// unrecorded evidence are reported as skipped.
+func scenarioVerify(args []string) int {
+	fs := flag.NewFlagSet("nettool scenario verify", flag.ExitOnError)
+	// ExitOnError: Parse cannot return a non-nil error here.
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "nettool: scenario verify wants <file.dsn> <recording.dsfr>")
+		return 2
+	}
+	s, err := scenario.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+		return 1
+	}
+	raw, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+		return 1
+	}
+	rec, err := flight.DecodeBytes(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+		return 1
+	}
+	res := scenario.EvalRecording(s, rec)
+	if err := res.Write(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+		return 1
+	}
+	// The recording must also pass the generic offline verifier: scenario
+	// assertions and structural invariants are one verdict here.
+	rep := flight.Verify(rec)
+	if err := rep.Write(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+		return 1
+	}
+	if !res.Passed() || !rep.Passed() {
+		return 1
+	}
+	return 0
+}
+
+// scenarioFmt rewrites .dsn files into canonical form (or checks them
+// with -l, print-only).
+func scenarioFmt(args []string) int {
+	fs := flag.NewFlagSet("nettool scenario fmt", flag.ExitOnError)
+	list := fs.Bool("l", false, "list files that are not canonical instead of rewriting")
+	// ExitOnError: Parse cannot return a non-nil error here.
+	_ = fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "nettool: scenario fmt wants one or more .dsn files")
+		return 2
+	}
+	dirty := false
+	for _, path := range fs.Args() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+			return 1
+		}
+		s, err := scenario.Parse(raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %s: %v\n", path, err)
+			return 1
+		}
+		canon := s.Format()
+		if string(canon) == string(raw) {
+			continue
+		}
+		dirty = true
+		if *list {
+			fmt.Println(path)
+			continue
+		}
+		if err := os.WriteFile(path, canon, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+			return 1
+		}
+		fmt.Printf("reformatted %s\n", path)
+	}
+	if *list && dirty {
+		return 1
+	}
+	return 0
+}
+
+// splitPath peels a leading non-flag argument (the file path) so both
+// "scenario run <file> -flags" and "scenario run -flags <file>" work,
+// matching the replay subcommand's convention.
+func splitPath(args []string) (string, []string) {
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		return args[0], args[1:]
+	}
+	return "", args
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeScenario drops a .dsn file into a temp dir and returns its path.
+func writeScenario(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.dsn")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const passingScenario = `-- spec --
+name = cli-pass
+n = 30
+side = 8
+seed = 1
+protocol = icff
+-- assert --
+completed
+rounds <= theorem1
+`
+
+const failingScenario = `-- spec --
+name = cli-fail
+n = 30
+side = 8
+seed = 1
+protocol = icff
+-- assert --
+rounds <= 1
+`
+
+func TestScenarioRunExitCodes(t *testing.T) {
+	pass := writeScenario(t, passingScenario)
+	if code := runScenarioCmd([]string{"run", pass}); code != 0 {
+		t.Fatalf("passing scenario exited %d", code)
+	}
+	fail := writeScenario(t, failingScenario)
+	if code := runScenarioCmd([]string{"run", fail}); code != 1 {
+		t.Fatalf("failing scenario exited %d, want 1", code)
+	}
+	if code := runScenarioCmd([]string{"run"}); code != 2 {
+		t.Fatalf("missing file exited %d, want 2", code)
+	}
+	if code := runScenarioCmd([]string{"bogus"}); code != 2 {
+		t.Fatalf("unknown subcommand exited %d, want 2", code)
+	}
+}
+
+func TestScenarioRecordThenVerify(t *testing.T) {
+	pass := writeScenario(t, passingScenario)
+	rec := filepath.Join(t.TempDir(), "run.dsfr")
+	if code := runScenarioCmd([]string{"run", pass, "-record", rec}); code != 0 {
+		t.Fatalf("run -record exited %d", code)
+	}
+	if _, err := os.Stat(rec); err != nil {
+		t.Fatalf("recording not written: %v", err)
+	}
+	if code := runScenarioCmd([]string{"verify", pass, rec}); code != 0 {
+		t.Fatalf("verify exited %d", code)
+	}
+	// A recording of a different scenario must be rejected.
+	other := writeScenario(t, `-- spec --
+name = cli-other
+n = 40
+side = 8
+seed = 2
+-- assert --
+completed
+`)
+	if code := runScenarioCmd([]string{"verify", other, rec}); code != 1 {
+		t.Fatalf("verify against mismatched recording exited %d, want 1", code)
+	}
+}
+
+func TestScenarioFmt(t *testing.T) {
+	// Non-canonical spelling: extra blank lines and comments vanish under fmt.
+	messy := writeScenario(t, `-- spec --
+
+# a comment
+name = cli-fmt
+n = 30
+side = 8
+-- assert --
+completed
+`)
+	if code := runScenarioCmd([]string{"fmt", "-l", messy}); code != 1 {
+		t.Fatalf("fmt -l on messy file exited %d, want 1", code)
+	}
+	if code := runScenarioCmd([]string{"fmt", messy}); code != 0 {
+		t.Fatalf("fmt rewrite exited %d", code)
+	}
+	if code := runScenarioCmd([]string{"fmt", "-l", messy}); code != 0 {
+		t.Fatalf("fmt -l after rewrite exited %d, want 0", code)
+	}
+}

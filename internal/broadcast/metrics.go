@@ -94,6 +94,9 @@ type Metrics struct {
 	// Collisions and Transmissions are engine counters.
 	Collisions    int
 	Transmissions int
+	// Quiesced is true when every live program reported Done before the
+	// round budget ran out (the network went back to sleep on its own).
+	Quiesced bool
 	// Awake is the per-node breakdown; Listens and Transmits split it by
 	// activity for energy models.
 	Awake     map[graph.NodeID]int
@@ -252,6 +255,7 @@ func (p *Plan) Run(g *graph.Graph, opts Options) (Metrics, error) {
 		Protocol:      p.Protocol,
 		ScheduleLen:   p.ScheduleLen,
 		Rounds:        res.Rounds,
+		Quiesced:      res.Quiesced,
 		Audience:      len(p.Audience),
 		MaxAwake:      res.MaxAwake(),
 		MeanAwake:     res.MeanAwake(),

@@ -45,6 +45,7 @@ type PFloodOptions struct {
 // via the assertion below.
 type pfloodNode struct {
 	id       graph.NodeID
+	src      graph.NodeID
 	startHas bool
 	horizon  int
 	forward  bool
@@ -71,7 +72,10 @@ func (p *pfloodNode) Act(round int) radio.Action {
 		return radio.SleepAction()
 	}
 	if p.txRound == round {
-		return radio.TransmitOn(0, radio.Message{Seq: payloadSeq, Src: p.id, Dst: radio.NoNode})
+		// Src carries the payload's origin (not the rebroadcaster): every
+		// copy of one payload must share its (Seq, Src) identity so causal
+		// tooling (flight span traces) can stitch the relay DAG together.
+		return radio.TransmitOn(0, radio.Message{Seq: payloadSeq, Src: p.src, Dst: radio.NoNode})
 	}
 	return radio.ListenOn(0)
 }
@@ -121,6 +125,7 @@ func PFloodPlan(g *graph.Graph, source graph.NodeID, opts PFloodOptions) (*Plan,
 	for _, id := range g.Nodes() {
 		p := &pfloodNode{
 			id:       id,
+			src:      source,
 			horizon:  horizon,
 			startHas: id == source,
 			forward:  rng.Float64() < opts.Forward,

@@ -21,6 +21,7 @@ import (
 	"dynsens/internal/broadcast"
 	"dynsens/internal/core"
 	"dynsens/internal/flight"
+	"dynsens/internal/geom"
 	"dynsens/internal/graph"
 	"dynsens/internal/netio"
 	"dynsens/internal/obs"
@@ -124,20 +125,29 @@ func (p Params) seeds() []int64 {
 	return out
 }
 
-// buildNet constructs a verified network for one (size, seed) point.
-func buildNet(p Params, n int, seed int64) (*core.Network, error) {
-	d, err := workload.IncrementalConnected(workload.PaperConfig(seed, p.Side, n))
+// BuildNetwork deploys one connected RGG point (the paper's incremental
+// placement on a side x side region of 100 m units), self-organizes it
+// under cfg, and verifies every structural invariant. It is the shared
+// build step of the sweeps here, the scenario runner and the CLIs.
+func BuildNetwork(side, n int, seed int64, cfg core.Config) (*core.Network, *geom.Deployment, error) {
+	d, err := workload.IncrementalConnected(workload.PaperConfig(seed, side, n))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	net, err := core.Build(d.Graph(), core.Config{})
+	net, err := core.Build(d.Graph(), cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := net.Verify(); err != nil {
-		return nil, fmt.Errorf("expt: invariant violation (n=%d seed=%d): %w", n, seed, err)
+		return nil, nil, fmt.Errorf("expt: invariant violation (n=%d seed=%d): %w", n, seed, err)
 	}
-	return net, nil
+	return net, d, nil
+}
+
+// buildNet constructs a verified network for one (size, seed) point.
+func buildNet(p Params, n int, seed int64) (*core.Network, error) {
+	net, _, err := BuildNetwork(p.Side, n, seed, core.Config{})
+	return net, err
 }
 
 // forEachPoint runs fn for every (size, seed) pair — in parallel up to

@@ -185,6 +185,22 @@ func (r *Recording) Dropped() int {
 	return r.Footer.DroppedEvents
 }
 
+// MaxRound returns the last round the recording shows activity in: the
+// highest event round, or the footer's executed-round count if larger
+// (a ring recording may have evicted the late events).
+func (r *Recording) MaxRound() int {
+	last := 0
+	for i := range r.Events {
+		if r.Events[i].Round > last {
+			last = r.Events[i].Round
+		}
+	}
+	if r.Footer != nil && r.Footer.Rounds > last {
+		last = r.Footer.Rounds
+	}
+	return last
+}
+
 // Role returns the recorded role byte of id (0 when unknown).
 func (r *Recording) Role(id graph.NodeID) byte {
 	for i := range r.Nodes {

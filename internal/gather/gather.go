@@ -147,7 +147,10 @@ type Metrics struct {
 	// Nodes is the network size.
 	Nodes int
 	// Rounds, MaxAwake, MeanAwake, Collisions mirror the broadcast metrics.
-	Rounds        int
+	Rounds int
+	// Quiesced is true when every live program reported Done before the
+	// schedule ran out.
+	Quiesced      bool
 	ScheduleLen   int
 	MaxAwake      int
 	MeanAwake     float64
@@ -299,6 +302,7 @@ func Run(net *cnet.CNet, sched *Schedule, values map[graph.NodeID]int64, opts Op
 		Reporting:     int(root.reported + root.count),
 		Nodes:         tr.Size(),
 		Rounds:        res.Rounds,
+		Quiesced:      res.Quiesced,
 		ScheduleLen:   schedLen,
 		MaxAwake:      res.MaxAwake(),
 		MeanAwake:     res.MeanAwake(),

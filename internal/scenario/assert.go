@@ -1,0 +1,322 @@
+// assert.go is the scenario assertion vocabulary: parsed assertion lines,
+// the paper-bound symbols they may reference (Lemma 1, Theorem 1, the DFO
+// baseline bound), and the evaluator that turns a measured run into
+// structured pass/fail outcomes.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assertion keywords (bare lines in the assert section).
+const (
+	// KeyCompleted: every audience node received the payload.
+	KeyCompleted = "completed"
+	// KeyQuiescent: every live program reported Done before the round
+	// budget ran out (the network went back to sleep on its own).
+	KeyQuiescent = "quiescent"
+	// KeyCollisionFree: the run had zero collision events — the paper's
+	// collision-freedom guarantee for CFF/ICFF schedules.
+	KeyCollisionFree = "collision-free"
+)
+
+// Comparable metrics (left-hand side of "<metric> <op> <bound>").
+var metrics = map[string]bool{
+	"delivery-ratio": true, "rounds": true, "completion-round": true,
+	"max-awake": true, "mean-awake": true, "collisions": true,
+	"transmissions": true, "received": true, "energy": true,
+}
+
+// Bound symbols (right-hand side alternatives to a number).
+const (
+	SymLemma1        = "lemma1"
+	SymLemma1Awake   = "lemma1-awake"
+	SymTheorem1      = "theorem1"
+	SymTheorem1Awake = "theorem1-awake"
+	SymDFO           = "dfo"
+)
+
+var symbols = map[string]bool{
+	SymLemma1: true, SymLemma1Awake: true,
+	SymTheorem1: true, SymTheorem1Awake: true,
+	SymDFO: true,
+}
+
+var ops = map[string]bool{"<=": true, ">=": true, "<": true, ">": true, "==": true, "!=": true}
+
+// Assertion is one parsed assert line: either a bare keyword or a
+// comparison of a measured metric against a number or bound symbol.
+type Assertion struct {
+	// Metric is a comparable metric name or (with empty Op) a keyword.
+	Metric string
+	// Op is one of <= >= < > == != ("" for keywords).
+	Op string
+	// Symbol names a paper bound when non-empty; otherwise Value is the
+	// numeric bound.
+	Symbol string
+	Value  float64
+}
+
+// ParseAssertion parses one assert-section line.
+func ParseAssertion(line string) (Assertion, error) {
+	f := strings.Fields(line)
+	switch len(f) {
+	case 1:
+		switch f[0] {
+		case KeyCompleted, KeyQuiescent, KeyCollisionFree:
+			return Assertion{Metric: f[0]}, nil
+		}
+		return Assertion{}, fmt.Errorf("scenario: unknown assertion keyword %q", f[0])
+	case 3:
+		a := Assertion{Metric: f[0], Op: f[1]}
+		if !metrics[a.Metric] {
+			return Assertion{}, fmt.Errorf("scenario: unknown metric %q in %q", a.Metric, line)
+		}
+		if !ops[a.Op] {
+			return Assertion{}, fmt.Errorf("scenario: unknown operator %q in %q", a.Op, line)
+		}
+		if symbols[f[2]] {
+			a.Symbol = f[2]
+			return a, nil
+		}
+		v, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return Assertion{}, fmt.Errorf("scenario: bound %q is neither a number nor a known symbol", f[2])
+		}
+		a.Value = v
+		return a, nil
+	}
+	return Assertion{}, fmt.Errorf("scenario: assertion %q wants <metric> <op> <bound> or a keyword", line)
+}
+
+// String renders the assertion in canonical form.
+func (a Assertion) String() string {
+	if a.Op == "" {
+		return a.Metric
+	}
+	bound := a.Symbol
+	if bound == "" {
+		bound = formatFloat(a.Value)
+	}
+	return fmt.Sprintf("%s %s %s", a.Metric, a.Op, bound)
+}
+
+// Bounds carries the structural quantities the paper's bounds are stated
+// in, captured from the live assignment or recomputed from a recording.
+type Bounds struct {
+	// K is the channel count the run used.
+	K int
+	// DeltaU is the largest u-slot (Lemma 1), SmallDelta the largest
+	// b-slot and Delta the largest l-slot (Theorem 1).
+	DeltaU, SmallDelta, Delta int
+	// H is the CNet tree height, HBT the backbone height.
+	H, HBT int
+	// Heads is the cluster-head count p (the DFO 4p-2 bound).
+	Heads int
+	// Pre is the source's tree depth: a non-root source pays a preamble
+	// relay of that many rounds before the scheduled flood starts.
+	Pre int
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func (b Bounds) k() int {
+	if b.K < 1 {
+		return 1
+	}
+	return b.K
+}
+
+// Value resolves a bound symbol to its numeric value and the formula it
+// was computed with.
+func (b Bounds) Value(sym string) (int, string, error) {
+	k := b.k()
+	switch sym {
+	case SymLemma1:
+		v := b.Pre + ceilDiv(b.DeltaU, k)*(b.H+1)
+		return v, fmt.Sprintf("pre + ceil(Delta_u/k)*(h+1) = %d + %d*%d", b.Pre, ceilDiv(b.DeltaU, k), b.H+1), nil
+	case SymLemma1Awake:
+		v := 2 * ceilDiv(b.DeltaU, k)
+		return v, fmt.Sprintf("2*ceil(Delta_u/k) = 2*%d", ceilDiv(b.DeltaU, k)), nil
+	case SymTheorem1:
+		v := b.Pre + ceilDiv(b.SmallDelta, k)*b.HBT + ceilDiv(b.Delta, k)
+		return v, fmt.Sprintf("pre + ceil(delta/k)*h_BT + ceil(Delta/k) = %d + %d*%d + %d",
+			b.Pre, ceilDiv(b.SmallDelta, k), b.HBT, ceilDiv(b.Delta, k)), nil
+	case SymTheorem1Awake:
+		v := 2*ceilDiv(b.SmallDelta, k) + ceilDiv(b.Delta, k)
+		return v, fmt.Sprintf("2*ceil(delta/k) + ceil(Delta/k) = 2*%d + %d",
+			ceilDiv(b.SmallDelta, k), ceilDiv(b.Delta, k)), nil
+	case SymDFO:
+		v := 4*b.Heads - 2
+		if v < 2 {
+			v = 2
+		}
+		return v, fmt.Sprintf("4p-2 with p=%d", b.Heads), nil
+	}
+	return 0, "", fmt.Errorf("scenario: unknown bound symbol %q", sym)
+}
+
+// Measured is the protocol-independent view of what a run did — the
+// evaluator's input, filled from broadcast/gather/discovery metrics live
+// or from a flight recording offline.
+type Measured struct {
+	Protocol        string
+	ScheduleLen     int
+	Rounds          int
+	Audience        int
+	Received        int
+	Completed       bool
+	CompletionRound int
+	MaxAwake        int
+	MeanAwake       float64
+	Collisions      int
+	Transmissions   int
+	Quiesced        bool
+	// Energy is the maximum per-node energy cost of the run under
+	// energy.DefaultModel (awake-round charging over the executed rounds).
+	Energy float64
+
+	// HasAwake gates max-awake/mean-awake, HasEnergy the energy budget
+	// (it needs the per-node listen/transmit split), HasQuiesced the
+	// quiescent keyword: recordings carry no listen events and no
+	// quiescence flag, so those cannot be reconstructed offline, and
+	// discovery/gather runs expose only a subset live.
+	HasAwake    bool
+	HasEnergy   bool
+	HasQuiesced bool
+}
+
+// DeliveryRatio is Received/Audience (1 for an empty audience).
+func (m Measured) DeliveryRatio() float64 {
+	if m.Audience == 0 {
+		return 1
+	}
+	return float64(m.Received) / float64(m.Audience)
+}
+
+// value returns the metric's measured value and whether it is available
+// in this evaluation mode.
+func (m Measured) value(metric string) (v float64, available bool, err error) {
+	switch metric {
+	case "delivery-ratio":
+		return m.DeliveryRatio(), true, nil
+	case "rounds":
+		return float64(m.Rounds), true, nil
+	case "completion-round":
+		return float64(m.CompletionRound), true, nil
+	case "max-awake":
+		return float64(m.MaxAwake), m.HasAwake, nil
+	case "mean-awake":
+		return m.MeanAwake, m.HasAwake, nil
+	case "collisions":
+		return float64(m.Collisions), true, nil
+	case "transmissions":
+		return float64(m.Transmissions), true, nil
+	case "received":
+		return float64(m.Received), true, nil
+	case "energy":
+		return m.Energy, m.HasEnergy, nil
+	}
+	return 0, false, fmt.Errorf("scenario: unknown metric %q", metric)
+}
+
+func compare(v float64, op string, bound float64) bool {
+	switch op {
+	case "<=":
+		return v <= bound
+	case ">=":
+		return v >= bound
+	case "<":
+		return v < bound
+	case ">":
+		return v > bound
+	case "==":
+		return v == bound
+	case "!=":
+		return v != bound
+	}
+	return false
+}
+
+// Outcome is the structured result of evaluating one assertion.
+type Outcome struct {
+	// Assertion is the canonical source text.
+	Assertion string
+	// OK is the verdict (true for skipped outcomes, which do not fail a
+	// scenario but are reported as skipped).
+	OK bool
+	// Skipped marks assertions the evaluation mode cannot decide (e.g.
+	// awake-based metrics offline).
+	Skipped bool
+	// Detail explains the verdict: measured value, bound, and for
+	// symbolic bounds the resolved formula.
+	Detail string
+}
+
+// String renders "ok|FAIL|skip assert <text>: <detail>".
+func (o Outcome) String() string {
+	verdict := "ok  "
+	if o.Skipped {
+		verdict = "skip"
+	} else if !o.OK {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%s assert %q: %s", verdict, o.Assertion, o.Detail)
+}
+
+// Eval decides one assertion against a measured run and its bounds.
+func (a Assertion) Eval(m Measured, b Bounds) Outcome {
+	out := Outcome{Assertion: a.String()}
+	if a.Op == "" {
+		switch a.Metric {
+		case KeyCompleted:
+			out.OK = m.Completed
+			out.Detail = fmt.Sprintf("received %d/%d", m.Received, m.Audience)
+		case KeyQuiescent:
+			if !m.HasQuiesced {
+				out.OK, out.Skipped = true, true
+				out.Detail = "quiescence is not recorded; not evaluable offline"
+				return out
+			}
+			out.OK = m.Quiesced
+			out.Detail = fmt.Sprintf("quiesced=%v after %d rounds (schedule %d)", m.Quiesced, m.Rounds, m.ScheduleLen)
+		case KeyCollisionFree:
+			out.OK = m.Collisions == 0
+			out.Detail = fmt.Sprintf("collisions = %d", m.Collisions)
+		default:
+			out.Detail = fmt.Sprintf("unknown keyword %q", a.Metric)
+		}
+		return out
+	}
+
+	v, available, err := m.value(a.Metric)
+	if err != nil {
+		out.Detail = err.Error()
+		return out
+	}
+	if !available {
+		out.OK, out.Skipped = true, true
+		out.Detail = fmt.Sprintf("%s is not recorded; not evaluable offline", a.Metric)
+		return out
+	}
+	bound := a.Value
+	boundText := formatFloat(a.Value)
+	if a.Symbol != "" {
+		bv, formula, err := b.Value(a.Symbol)
+		if err != nil {
+			out.Detail = err.Error()
+			return out
+		}
+		bound = float64(bv)
+		boundText = fmt.Sprintf("%s = %d (%s)", a.Symbol, bv, formula)
+	}
+	out.OK = compare(v, a.Op, bound)
+	verb := "satisfies"
+	if !out.OK {
+		verb = "violates"
+	}
+	out.Detail = fmt.Sprintf("%s = %s %s %s %s", a.Metric, formatFloat(v), verb, a.Op, boundText)
+	return out
+}

@@ -1,0 +1,97 @@
+// txtar.go implements the minimal txtar container format the scenario
+// files ride in: free comment text, then sections opened by "-- name --"
+// marker lines whose bodies run to the next marker. It mirrors
+// golang.org/x/tools/txtar (the testscript container) without taking the
+// dependency; only what .dsn files need is implemented.
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// section is one named txtar section.
+type section struct {
+	Name string
+	Data string
+}
+
+// archive is a parsed txtar container.
+type archive struct {
+	Comment  string
+	Sections []section
+}
+
+// marker returns the section name if line is a "-- name --" marker.
+func marker(line string) (string, bool) {
+	line = strings.TrimSuffix(line, "\r")
+	// len >= 6 keeps the prefix and suffix from overlapping ("-- --" is
+	// not a marker, it has no room for a name).
+	if len(line) < 6 || !strings.HasPrefix(line, "-- ") || !strings.HasSuffix(line, " --") {
+		return "", false
+	}
+	name := strings.TrimSpace(line[3 : len(line)-3])
+	if name == "" {
+		return "", false
+	}
+	return name, true
+}
+
+// parseArchive splits data into the leading comment and its sections.
+// Section bodies are normalized to end in exactly one trailing newline
+// (empty bodies stay empty), so formatting a parsed archive is a fixpoint.
+func parseArchive(data []byte) archive {
+	var a archive
+	var cur *section
+	var buf bytes.Buffer
+	flush := func() {
+		text := buf.String()
+		if cur == nil {
+			a.Comment = text
+		} else {
+			cur.Data = text
+			a.Sections = append(a.Sections, *cur)
+		}
+		buf.Reset()
+	}
+	rest := string(data)
+	for len(rest) > 0 {
+		line := rest
+		if i := strings.IndexByte(rest, '\n'); i >= 0 {
+			line, rest = rest[:i+1], rest[i+1:]
+		} else {
+			rest = ""
+		}
+		if name, ok := marker(strings.TrimSuffix(line, "\n")); ok {
+			flush()
+			cur = &section{Name: name}
+			continue
+		}
+		buf.WriteString(line)
+	}
+	flush()
+	return a
+}
+
+// formatArchive renders the archive back to txtar bytes, normalizing every
+// non-empty block (comment and section bodies) to end in one newline.
+func formatArchive(a archive) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(normalizeBlock(a.Comment))
+	for _, s := range a.Sections {
+		fmt.Fprintf(&buf, "-- %s --\n", s.Name)
+		buf.WriteString(normalizeBlock(s.Data))
+	}
+	return buf.Bytes()
+}
+
+// normalizeBlock trims trailing blank space and re-adds a single final
+// newline (empty input stays empty).
+func normalizeBlock(s string) string {
+	s = strings.TrimRight(s, " \t\n\r")
+	if s == "" {
+		return ""
+	}
+	return s + "\n"
+}

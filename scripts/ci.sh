@@ -16,6 +16,17 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
+echo "== generated artifacts"
+# Build outputs must never be committed: coverage profiles, flight
+# recordings, compiled test binaries, pprof profiles. .gitignore keeps
+# them out of "git add ."; this guard catches a force-add.
+tracked=$(git ls-files -- 'coverage.out' '*.dsfr' '*.test' '*.prof' '*.pprof')
+if [ -n "$tracked" ]; then
+    echo "generated artifacts are tracked:" >&2
+    echo "$tracked" >&2
+    exit 1
+fi
+
 echo "== go vet"
 go vet ./...
 
@@ -46,6 +57,11 @@ for procs in 1 4; do
     echo "-- GOMAXPROCS=$procs"
     GOMAXPROCS="$procs" go test -race -run 'EngineEquivalence|EngineWorkers|RunByteIdentical' \
         ./internal/radio ./internal/broadcast
+    # The scenario corpus re-runs every .dsn (testdata + examples) through
+    # the live stack with record/replay self-verification — end-to-end
+    # determinism under both schedules (docs/scenarios.md).
+    GOMAXPROCS="$procs" go test -race -run 'TestScenarioCorpus|TestScenarioWorkerDeterminism' \
+        ./internal/scenario
 done
 
 echo "== fuzz smoke"
@@ -54,6 +70,7 @@ echo "== fuzz smoke"
 go test -run '^$' -fuzz '^FuzzNetioRead$' -fuzztime 5s ./internal/netio
 go test -run '^$' -fuzz '^FuzzRecordingDecode$' -fuzztime 5s ./internal/flight
 go test -run '^$' -fuzz '^FuzzEngineEquivalence$' -fuzztime 5s ./internal/radio
+go test -run '^$' -fuzz '^FuzzScenarioParse$' -fuzztime 5s ./internal/scenario
 # The go tool ignores testdata, so the lint fixtures only compile through
 # the lint loader: run the loader test explicitly so fixtures can't bit-rot.
 go test -run '^TestFixturesLoad$' -count=1 ./internal/lint
@@ -69,6 +86,22 @@ go run ./cmd/dynsim -n 200 -side 10 -seed 7 -failfrac 0.1 -record "$replay_dir/r
 go run ./cmd/nettool replay -chrome-trace "$replay_dir/trace.json" "$replay_dir/run.dsfr" | tee "$replay_dir/replay.txt"
 grep -q 'verifier: PASS' "$replay_dir/replay.txt"
 go run ./scripts/jsoncheck "$replay_dir/trace.json"
+
+echo "== scenario smoke"
+# One scenario recorded live, then re-verified offline from the .dsfr
+# alone: the third entry point of the scenario DSL (after go test and
+# dynsim -scenario). A negative fixture must fail with exit 1 — the
+# corpus proves assertions can pass; this proves they can fail.
+go build -o "$replay_dir/nettool" ./cmd/nettool
+"$replay_dir/nettool" scenario run testdata/scenarios/positive/sparse-rgg-icff.dsn \
+    -record "$replay_dir/scenario.dsfr" > /dev/null
+"$replay_dir/nettool" scenario verify testdata/scenarios/positive/sparse-rgg-icff.dsn \
+    "$replay_dir/scenario.dsfr" > /dev/null
+if "$replay_dir/nettool" scenario run testdata/scenarios/negative/violated-round-bound.dsn > /dev/null; then
+    echo "negative scenario fixture unexpectedly passed" >&2
+    exit 1
+fi
+echo "scenario record/verify round-trip OK, negative fixture fails as expected"
 
 echo "== dynlint"
 # All analyzers, the contract checkers (progpurity/shardsafe/hotalloc)
