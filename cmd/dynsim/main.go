@@ -22,6 +22,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"dynsens/internal/broadcast"
 	"dynsens/internal/cnet"
@@ -31,6 +32,7 @@ import (
 	"dynsens/internal/graph"
 	"dynsens/internal/netio"
 	"dynsens/internal/obs"
+	obsperf "dynsens/internal/obs/perf"
 	"dynsens/internal/radio"
 	"dynsens/internal/scenario"
 	"dynsens/internal/workload"
@@ -53,6 +55,7 @@ func main() {
 	flag.StringVar(&cfg.PprofAddr, "pprof", "", "serve net/http/pprof and /metrics on this address during the run")
 	flag.StringVar(&cfg.RecordPath, "record", "", "write a binary flight recording here (replay with: nettool replay)")
 	flag.IntVar(&cfg.RecordRing, "record-ring", 0, "bound the recording to the last N radio events (0 = keep all)")
+	flag.BoolVar(&cfg.Perf, "perf", false, "collect kernel perf introspection and print a per-phase/per-shard summary (results are byte-identical either way)")
 	scenarioPath := flag.String("scenario", "", "run a declarative .dsn scenario file instead (exit 1 if an assertion fails; see docs/scenarios.md)")
 	flag.Parse()
 
@@ -128,6 +131,11 @@ type runConfig struct {
 	// RecordRing > 0 bounds it to the last N radio events.
 	RecordPath string
 	RecordRing int
+	// Perf enables kernel performance introspection: per-phase wall
+	// times, shard busy/imbalance, and (with -metrics/-pprof) the
+	// dynsens_kernel_* series plus a background runtime sampler. Strictly
+	// read-only — simulation output is byte-identical either way.
+	Perf bool
 }
 
 // wantObs reports whether the scenario needs a metrics registry at all.
@@ -253,6 +261,16 @@ func run(cfg runConfig) error {
 		st.DegreeG, st.DegreeBT, st.Delta, st.SmallDelta, st.BoundL, st.BoundB)
 
 	opts := broadcast.Options{Channels: cfg.Channels, Workers: cfg.Workers, Obs: reg}
+	var perf *radio.Perf
+	var sampler *obsperf.Sampler
+	if cfg.Perf {
+		perf = radio.NewPerf()
+		opts.Perf = perf
+		if reg != nil {
+			sampler = obsperf.NewSampler(reg)
+			sampler.Start(250 * time.Millisecond)
+		}
+	}
 	if cfg.Verbose {
 		opts.Trace = func(ev radio.Event) {
 			switch ev.Kind {
@@ -323,13 +341,16 @@ func run(cfg runConfig) error {
 		for _, f := range opts.Failures {
 			gfails = append(gfails, gather.Failure{Node: f.Node, Round: f.Round})
 		}
-		gm, err := net.Gather(values, gather.Options{Failures: gfails, Workers: cfg.Workers})
+		gm, err := net.Gather(values, gather.Options{Failures: gfails, Workers: cfg.Workers, Perf: perf})
 		if err != nil {
 			return err
 		}
 		fmt.Println(gm)
 		fmt.Printf("expected sum %d; reporting fraction %.3f\n", want,
 			float64(gm.Reporting)/float64(gm.Nodes))
+		if err := finishPerf(perf, sampler, reg); err != nil {
+			return err
+		}
 		return finishMetrics(reg, cfg)
 	case "multicast":
 		rng := rand.New(rand.NewSource(cfg.Seed * 31))
@@ -368,7 +389,27 @@ func run(cfg runConfig) error {
 			fmt.Printf("wrote flight recording to %s\n", cfg.RecordPath)
 		}
 	}
+	if err := finishPerf(perf, sampler, reg); err != nil {
+		return err
+	}
 	return finishMetrics(reg, cfg)
+}
+
+// finishPerf stops the runtime sampler, publishes the perf collector into
+// the registry (so the -metrics dump carries the dynsens_kernel_* series)
+// and prints the per-phase summary table.
+func finishPerf(perf *radio.Perf, sampler *obsperf.Sampler, reg *obs.Registry) error {
+	if perf == nil {
+		return nil
+	}
+	if sampler != nil {
+		sampler.Stop()
+	}
+	snap := perf.Snapshot()
+	if reg != nil {
+		obsperf.Publish(reg, snap)
+	}
+	return obsperf.WriteSummary(os.Stdout, snap)
 }
 
 // finishMetrics writes the -metrics dump, if requested.

@@ -6,7 +6,7 @@
 //	experiments [-fig all|8|9|10|11|bounds|channels|multicast|robust|reconfig|areas|ablation|slotcond]
 //	            [-side 10] [-sizes 100,200,300,400,500] [-seeds 5] [-baseseed 1]
 //	            [-quick] [-workers 0] [-metrics sweep.prom] [-pprof localhost:6060]
-//	            [-flight-dir recordings/]
+//	            [-flight-dir recordings/] [-perf]
 //
 // With -quick a small sweep runs in a few seconds; the default parameters
 // match the paper's published 10x10-unit curves. -metrics dumps sweep
@@ -27,6 +27,8 @@ import (
 	"dynsens/internal/expt"
 	"dynsens/internal/flight"
 	"dynsens/internal/obs"
+	obsperf "dynsens/internal/obs/perf"
+	"dynsens/internal/radio"
 	"dynsens/internal/stats"
 )
 
@@ -44,6 +46,7 @@ func main() {
 		metrics  = flag.String("metrics", "", "write a metrics snapshot here at exit (- for stdout, .json for JSON, else Prometheus text)")
 		ppAddr   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address during the sweep")
 		flDir    = flag.String("flight-dir", "", "record each point's ICFF run as a flight recording in this directory (replay with: nettool replay)")
+		perfOn   = flag.Bool("perf", false, "collect kernel perf introspection across the sweep and print a summary (results unchanged)")
 	)
 	flag.Parse()
 
@@ -73,6 +76,16 @@ func main() {
 		reg = obs.NewRegistry()
 		p.Obs = reg
 		p.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	var perf *radio.Perf
+	var sampler *obsperf.Sampler
+	if *perfOn {
+		perf = radio.NewPerf()
+		p.Perf = perf
+		if reg != nil {
+			sampler = obsperf.NewSampler(reg)
+			sampler.Start(time.Second)
+		}
 	}
 	if *flDir != "" {
 		if err := os.MkdirAll(*flDir, 0o755); err != nil {
@@ -138,6 +151,19 @@ func main() {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 				os.Exit(1)
 			}
+		}
+	}
+	if perf != nil {
+		if sampler != nil {
+			sampler.Stop()
+		}
+		snap := perf.Snapshot()
+		if reg != nil {
+			obsperf.Publish(reg, snap)
+		}
+		if err := obsperf.WriteSummary(os.Stdout, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	if reg != nil && *metrics != "" {

@@ -10,7 +10,11 @@
 // files (see docs/scenarios.md): "scenario run" executes one through the
 // live stack and exits 1 if any assertion fails, "scenario verify"
 // re-evaluates a scenario's assertions offline against an existing
-// recording, and "scenario fmt" canonicalizes scenario files.
+// recording, and "scenario fmt" canonicalizes scenario files. The "perf"
+// subcommand works on BENCH_*.json files (or raw `go test -bench`
+// output): "perf report" renders one, "perf diff" compares two and exits
+// 1 on a regression past -fail, "perf import" converts raw bench output
+// to the JSON schema with honest host metadata (see docs/performance.md).
 //
 // Examples:
 //
@@ -25,6 +29,8 @@
 //	nettool scenario run examples/churn/churn.dsn -record churn.dsfr
 //	nettool scenario verify examples/churn/churn.dsn churn.dsfr
 //	nettool scenario fmt -l testdata/scenarios/positive/*.dsn
+//	nettool perf report BENCH_PR7.json
+//	nettool perf diff -warn 15 -fail 50 scripts/bench_baseline.json /tmp/bench.json
 package main
 
 import (
@@ -45,6 +51,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "scenario" {
 		os.Exit(runScenarioCmd(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "perf" {
+		os.Exit(runPerfCmd(os.Args[2:]))
 	}
 	if len(os.Args) > 1 && os.Args[1] == "replay" {
 		// Accept both "replay <file> -flags" and "replay -flags <file>".

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	obsperf "dynsens/internal/obs/perf"
+)
+
+// perfUsage is printed for `nettool perf` without a valid subcommand.
+const perfUsage = `usage:
+  nettool perf report <bench-file>
+  nettool perf diff [-warn PCT] [-fail PCT] <old> <new>
+  nettool perf import [-o out.json] <raw-go-bench-output>
+
+Bench files are BENCH_*.json (scripts/bench.sh schema) or raw
+'go test -bench' output; the format is sniffed. "report" renders one
+file — on a cpus=1 host derived ratios print as overhead ratios, never
+as speedups. "diff" compares ns/op by benchmark name and exits 1 when
+any regression exceeds -fail. "import" converts raw bench output to the
+JSON schema, stamping the running host's cpus/gomaxprocs/loadavg.`
+
+// runPerfCmd implements the `nettool perf` subcommand; returns the process
+// exit code.
+func runPerfCmd(args []string) int {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, perfUsage)
+		return 2
+	}
+	switch args[0] {
+	case "report":
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, perfUsage)
+			return 2
+		}
+		f, err := obsperf.LoadBenchFile(args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+			return 1
+		}
+		if err := obsperf.WriteReport(os.Stdout, f); err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+			return 1
+		}
+		return 0
+	case "diff":
+		fs := flag.NewFlagSet("nettool perf diff", flag.ExitOnError)
+		warn := fs.Float64("warn", 15, "mark WARN above this ns/op regression percentage")
+		fail := fs.Float64("fail", 50, "mark FAIL (and exit 1) above this ns/op regression percentage")
+		// ExitOnError: Parse cannot return a non-nil error here.
+		_ = fs.Parse(args[1:])
+		if fs.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, perfUsage)
+			return 2
+		}
+		oldF, err := obsperf.LoadBenchFile(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+			return 1
+		}
+		newF, err := obsperf.LoadBenchFile(fs.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+			return 1
+		}
+		failed, err := obsperf.WriteDiff(os.Stdout, oldF, newF, *warn, *fail)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+			return 1
+		}
+		if failed {
+			return 1
+		}
+		return 0
+	case "import":
+		fs := flag.NewFlagSet("nettool perf import", flag.ExitOnError)
+		out := fs.String("o", "-", "write the JSON bench file here ('-' for stdout)")
+		// ExitOnError: Parse cannot return a non-nil error here.
+		_ = fs.Parse(args[1:])
+		if fs.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, perfUsage)
+			return 2
+		}
+		f, err := obsperf.LoadBenchFile(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+			return 1
+		}
+		f.GeneratedBy = "nettool perf import"
+		f.Go = runtime.Version()
+		f.CPUs = runtime.NumCPU()
+		f.GOMAXPROCS = runtime.GOMAXPROCS(0)
+		f.LoadAvg = loadAvg1()
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if *out == "-" {
+			if _, err := os.Stdout.Write(data); err != nil {
+				fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+				return 1
+			}
+			return 0
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "nettool: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *out)
+		return 0
+	default:
+		fmt.Fprintln(os.Stderr, perfUsage)
+		return 2
+	}
+}
+
+// loadAvg1 returns the host's 1-minute load average, or 0 where
+// /proc/loadavg is unavailable (non-Linux hosts).
+func loadAvg1() float64 {
+	data, err := os.ReadFile("/proc/loadavg")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) == 0 {
+		return 0
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}

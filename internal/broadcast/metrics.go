@@ -63,6 +63,12 @@ type Options struct {
 	// summarizing the outcome. The caller owns the writer (header,
 	// topology and Close); see internal/flight.
 	Flight *flight.Writer
+	// Perf, when non-nil, collects kernel performance introspection for
+	// the run (radio.Engine.SetPerf): per-phase wall times, per-shard busy
+	// times, round/event throughput. Strictly read-only — results, traces
+	// and recordings are byte-identical with or without it. Safe to share
+	// across concurrent runs; see internal/obs/perf for rendering.
+	Perf *radio.Perf
 }
 
 func (o Options) channels() int {
@@ -203,6 +209,7 @@ func (p *Plan) Run(g *graph.Graph, opts Options) (Metrics, error) {
 		return Metrics{}, err
 	}
 	eng.SetWorkers(opts.Workers)
+	eng.SetPerf(opts.Perf)
 	var col *obs.RadioCollector
 	if opts.Obs != nil {
 		col = obs.NewRadioCollector(opts.Obs, obs.L("protocol", p.Protocol))

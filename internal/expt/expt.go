@@ -25,6 +25,7 @@ import (
 	"dynsens/internal/graph"
 	"dynsens/internal/netio"
 	"dynsens/internal/obs"
+	"dynsens/internal/radio"
 	"dynsens/internal/stats"
 	"dynsens/internal/workload"
 )
@@ -82,6 +83,11 @@ type Params struct {
 	// header and topology, records the run, and closes the writer. Must be
 	// safe for concurrent calls when Workers > 1.
 	Flight func(n int, seed int64) *flight.Writer
+	// Perf, when non-nil, collects kernel performance introspection
+	// across every point's engine runs (radio.Engine.SetPerf). One shared
+	// collector is safe under Workers > 1 — runs fold in atomically — and
+	// never changes results.
+	Perf *radio.Perf
 }
 
 func (p Params) workers() int {
@@ -260,6 +266,7 @@ func runBoth(p Params, net *core.Network, n int, seed int64, opts broadcast.Opti
 		// would oversubscribe unless the caller asked for it.
 		opts.Workers = p.engineWorkers()
 	}
+	opts.Perf = p.Perf
 	icffOpts := opts
 	var fw *flight.Writer
 	if p.Flight != nil {

@@ -231,6 +231,9 @@ type Options struct {
 	Workers int
 	// Trace receives engine events.
 	Trace func(radio.Event)
+	// Perf, when non-nil, collects kernel performance introspection for
+	// the run (radio.Engine.SetPerf); strictly read-only.
+	Perf *radio.Perf
 }
 
 // Failure kills a node at a round.
@@ -287,6 +290,7 @@ func Run(net *cnet.CNet, sched *Schedule, values map[graph.NodeID]int64, opts Op
 		return Metrics{}, err
 	}
 	eng.SetWorkers(opts.Workers)
+	eng.SetPerf(opts.Perf)
 	if opts.Trace != nil {
 		eng.SetTrace(opts.Trace)
 	}

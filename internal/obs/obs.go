@@ -122,6 +122,37 @@ func LinearBuckets(start, width float64, n int) []float64 {
 	return out
 }
 
+// Pow2Buckets returns power-of-two bucket bounds 2^lo, 2^(lo+1), ..., 2^hi
+// (inclusive on both ends) — the natural shape for nanosecond timer data,
+// where interesting values span many orders of magnitude and exact
+// power-of-two edges make bucket membership predictable in tests.
+// Arguments are clamped rather than rejected: lo below 0 becomes 0
+// (sub-nanosecond bounds are meaningless for integer timers), hi below lo
+// yields the single bucket 2^lo, and hi above 62 becomes 62 (the largest
+// power of two exactly representable in an int64 nanosecond count).
+func Pow2Buckets(lo, hi int) []float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 62 {
+		hi = 62
+	}
+	if hi < lo {
+		hi = lo
+	}
+	out := make([]float64, 0, hi-lo+1)
+	for e := lo; e <= hi; e++ {
+		out = append(out, float64(uint64(1)<<uint(e)))
+	}
+	return out
+}
+
+// TimerBuckets returns the standard nanosecond histogram bounds used by the
+// kernel perf metrics: 2^10 ns (~1 µs) through 2^34 ns (~17 s). Anything
+// under a microsecond lands in the first bucket; anything over 17 seconds
+// lands in the implicit +Inf overflow bucket.
+func TimerBuckets() []float64 { return Pow2Buckets(10, 34) }
+
 // metricKind discriminates the series types in the registry.
 type metricKind int
 

@@ -119,6 +119,65 @@ func TestBucketHelpers(t *testing.T) {
 	}
 }
 
+func TestPow2Buckets(t *testing.T) {
+	cases := []struct {
+		lo, hi int
+		want   []float64
+	}{
+		{0, 3, []float64{1, 2, 4, 8}},
+		{10, 12, []float64{1024, 2048, 4096}},
+		{-3, 1, []float64{1, 2}},     // lo clamps to 0
+		{5, 2, []float64{32}},        // hi < lo collapses to a single bucket
+		{62, 70, []float64{1 << 62}}, // hi clamps to 62
+	}
+	for _, c := range cases {
+		got := Pow2Buckets(c.lo, c.hi)
+		if len(got) != len(c.want) {
+			t.Fatalf("Pow2Buckets(%d, %d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("Pow2Buckets(%d, %d) = %v, want %v", c.lo, c.hi, got, c.want)
+			}
+		}
+	}
+	tb := TimerBuckets()
+	if tb[0] != 1024 || tb[len(tb)-1] != float64(int64(1)<<34) || len(tb) != 25 {
+		t.Fatalf("TimerBuckets = first %v last %v len %d", tb[0], tb[len(tb)-1], len(tb))
+	}
+}
+
+// TestPow2BucketEdges pins the bucket-membership semantics at exact
+// power-of-two values: Prometheus buckets are inclusive upper bounds, so
+// an observation equal to an edge lands in that edge's bucket and edge+1
+// spills into the next.
+func TestPow2BucketEdges(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("edges", "help", Pow2Buckets(10, 12)) // 1024, 2048, 4096
+	h.Observe(1023)
+	h.Observe(1024) // inclusive: le=1024
+	h.Observe(1025) // next bucket: le=2048
+	h.Observe(4096) // last explicit bucket
+	h.Observe(4097) // implicit +Inf overflow
+	snap := reg.Snapshot()
+	hp, ok := snap.HistogramPoint("edges")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	wantCum := []int64{2, 3, 4} // cumulative per explicit bucket
+	if len(hp.Buckets) != len(wantCum) {
+		t.Fatalf("buckets = %+v", hp.Buckets)
+	}
+	for i, b := range hp.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket le=%v = %d, want %d", b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if hp.Count != 5 {
+		t.Fatalf("count = %d, want 5 (the +Inf overflow observation counts)", hp.Count)
+	}
+}
+
 // TestConcurrentUse hammers one registry from many goroutines — both
 // registration (idempotent lookups) and the atomic hot paths — so the
 // -race run proves the engine-worker sharing contract.

@@ -1,0 +1,331 @@
+package perf
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// BenchResult is one benchmark line of a BENCH_*.json file (the schema
+// scripts/bench.sh emits).
+type BenchResult struct {
+	// Name is the full benchmark path, with go test's trailing
+	// "-GOMAXPROCS" suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the measured nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when the run used -benchmem.
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+}
+
+// BenchFile is a parsed BENCH_*.json (or raw `go test -bench` output).
+// The host honesty fields — CPUs, GOMAXPROCS, LoadAvg — qualify every
+// ratio in the file: on a cpus==1 host a workers=N/workers=1 ratio is
+// coordination overhead, not a speedup, and the renderers below refuse to
+// label it one.
+type BenchFile struct {
+	// GeneratedBy records the producing tool (scripts/bench.sh or
+	// nettool perf import).
+	GeneratedBy string `json:"generated_by,omitempty"`
+	// Go is the toolchain version string.
+	Go string `json:"go,omitempty"`
+	// CPU is the benchmark host's CPU model line.
+	CPU string `json:"cpu,omitempty"`
+	// CPUs is the host's online CPU count; 0 means unrecorded. Ratio
+	// renderers only use the word "speedup" when CPUs > 1.
+	CPUs int `json:"cpus,omitempty"`
+	// GOMAXPROCS is the pinned scheduler width of the run; 0 = unrecorded.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// LoadAvg is the host's 1-minute load average when the run started;
+	// 0 = unrecorded (or a genuinely idle host).
+	LoadAvg float64 `json:"loadavg,omitempty"`
+	// Benchtime echoes the -benchtime used.
+	Benchtime string `json:"benchtime,omitempty"`
+	// Benchmarks are the individual results.
+	Benchmarks []BenchResult `json:"benchmarks"`
+	// Speedups are the derived ratios bench.sh computes (old/new ns) —
+	// despite the JSON key's historical name, they are only speedups on a
+	// multi-CPU host.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+}
+
+// Result returns the named benchmark's result, if present.
+func (f *BenchFile) Result(name string) (BenchResult, bool) {
+	for _, b := range f.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return BenchResult{}, false
+}
+
+// benchLine matches one `go test -bench` result line: name, iterations,
+// ns/op, then optional -benchmem columns.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// gomaxprocsSuffix is go test's "-N" name suffix when GOMAXPROCS != 1.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// ParseGoBench parses raw `go test -bench` output. Host fields beyond the
+// cpu: line stay zero — raw output does not carry them; `nettool perf
+// import` fills them from the running host.
+func ParseGoBench(r io.Reader) (BenchFile, error) {
+	var f BenchFile
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			f.CPU = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var b BenchResult
+		b.Name = gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return f, fmt.Errorf("perf: reading bench output: %w", err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return f, fmt.Errorf("perf: no benchmark result lines found")
+	}
+	return f, nil
+}
+
+// LoadBenchFile reads path as either a BENCH_*.json file or raw
+// `go test -bench` output (sniffed by the first non-space byte).
+func LoadBenchFile(path string) (BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchFile{}, fmt.Errorf("perf: %w", err)
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		var f BenchFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return BenchFile{}, fmt.Errorf("perf: parsing %s: %w", path, err)
+		}
+		return f, nil
+	}
+	f, err := ParseGoBench(bytes.NewReader(data))
+	if err != nil {
+		return BenchFile{}, fmt.Errorf("perf: parsing %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// DiffRow is one benchmark present in both sides of a diff.
+type DiffRow struct {
+	// Name is the benchmark path.
+	Name string
+	// OldNs and NewNs are the two ns/op values.
+	OldNs, NewNs float64
+	// DeltaPct is the ns/op change in percent: positive = regression
+	// (new slower than old).
+	DeltaPct float64
+}
+
+// BenchDiff is the outcome of comparing two bench files.
+type BenchDiff struct {
+	// Rows covers benchmarks present on both sides, in old-file order.
+	Rows []DiffRow
+	// OnlyOld and OnlyNew list benchmarks present on one side only.
+	OnlyOld, OnlyNew []string
+}
+
+// MaxDeltaPct returns the largest (worst) regression percentage across
+// rows, or 0 when there are no rows.
+func (d BenchDiff) MaxDeltaPct() float64 {
+	worst := 0.0
+	for _, r := range d.Rows {
+		if r.DeltaPct > worst {
+			worst = r.DeltaPct
+		}
+	}
+	return worst
+}
+
+// DiffBench compares two bench files by benchmark name.
+func DiffBench(old, new BenchFile) BenchDiff {
+	var d BenchDiff
+	newByName := make(map[string]BenchResult, len(new.Benchmarks))
+	for _, b := range new.Benchmarks {
+		newByName[b.Name] = b
+	}
+	seen := make(map[string]bool, len(old.Benchmarks))
+	for _, ob := range old.Benchmarks {
+		seen[ob.Name] = true
+		nb, ok := newByName[ob.Name]
+		if !ok {
+			d.OnlyOld = append(d.OnlyOld, ob.Name)
+			continue
+		}
+		row := DiffRow{Name: ob.Name, OldNs: ob.NsPerOp, NewNs: nb.NsPerOp}
+		if ob.NsPerOp > 0 {
+			row.DeltaPct = 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	for _, nb := range new.Benchmarks {
+		if !seen[nb.Name] {
+			d.OnlyNew = append(d.OnlyNew, nb.Name)
+		}
+	}
+	sort.Strings(d.OnlyOld)
+	sort.Strings(d.OnlyNew)
+	return d
+}
+
+// WriteDiff renders the comparison of two bench files and returns whether
+// any benchmark regressed past failPct. Rows regressed past warnPct are
+// marked WARN, past failPct FAIL; improvements and small noise are ok.
+// When either side ran on a cpus==1 host, a note flags that worker-count
+// ratios in the underlying files are coordination overhead — this
+// renderer never calls anything a speedup.
+func WriteDiff(w io.Writer, old, new BenchFile, warnPct, failPct float64) (bool, error) {
+	d := DiffBench(old, new)
+	failed := false
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, "BENCHMARK\tOLD ns/op\tNEW ns/op\tDELTA\tSTATUS"); err != nil {
+		return false, err
+	}
+	for _, r := range d.Rows {
+		status := "ok"
+		switch {
+		case r.DeltaPct > failPct:
+			status = "FAIL"
+			failed = true
+		case r.DeltaPct > warnPct:
+			status = "WARN"
+		}
+		if _, err := fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\n",
+			r.Name, r.OldNs, r.NewNs, r.DeltaPct, status); err != nil {
+			return false, err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return false, err
+	}
+	for _, n := range d.OnlyOld {
+		if _, err := fmt.Fprintf(w, "only in old: %s\n", n); err != nil {
+			return false, err
+		}
+	}
+	for _, n := range d.OnlyNew {
+		if _, err := fmt.Fprintf(w, "only in new: %s\n", n); err != nil {
+			return false, err
+		}
+	}
+	if old.CPUs == 1 || new.CPUs == 1 {
+		if _, err := fmt.Fprintln(w, "note: cpus=1 host — worker-count ratios in these files measure coordination overhead, not parallel speedup"); err != nil {
+			return false, err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "worst regression: %+.1f%% (warn >%.0f%%, fail >%.0f%%)\n",
+		d.MaxDeltaPct(), warnPct, failPct); err != nil {
+		return false, err
+	}
+	return failed, nil
+}
+
+// WriteReport renders one bench file: host metadata, the benchmark table,
+// and the derived ratio section. The ratio section obeys the honesty
+// rule: on a multi-CPU host ratios print as "Nx speedup"; on a cpus==1
+// host (or when the CPU count went unrecorded) the word speedup never
+// appears — the same numbers print as overhead ratios, because pinning
+// GOMAXPROCS>1 onto one CPU can only measure coordination cost.
+func WriteReport(w io.Writer, f BenchFile) error {
+	if _, err := fmt.Fprintf(w, "source: %s  go: %s\ncpu: %s (cpus=%s, gomaxprocs=%s, loadavg=%s)  benchtime: %s\n",
+		orUnknown(f.GeneratedBy), orUnknown(f.Go), orUnknown(f.CPU),
+		intOrUnknown(f.CPUs), intOrUnknown(f.GOMAXPROCS), loadOrUnknown(f.LoadAvg), orUnknown(f.Benchtime)); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, "BENCHMARK\tITERS\tns/op\tB/op\tallocs/op"); err != nil {
+		return err
+	}
+	for _, b := range f.Benchmarks {
+		if _, err := fmt.Fprintf(tw, "%s\t%d\t%.0f\t%d\t%d\n",
+			b.Name, b.Iterations, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if len(f.Speedups) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(f.Speedups))
+	for k := range f.Speedups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if f.CPUs > 1 {
+		if _, err := fmt.Fprintln(w, "speedups:"); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "  %s: %.2fx speedup\n", k, f.Speedups[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "ratios (cpus<=1 or unrecorded — read as coordination overhead, not speedup):"); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "  %s: %.2f overhead ratio\n", k, f.Speedups[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// orUnknown substitutes "unknown" for empty metadata strings.
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}
+
+// intOrUnknown renders a host-metadata int, with 0 meaning unrecorded.
+func intOrUnknown(v int) string {
+	if v == 0 {
+		return "unknown"
+	}
+	return strconv.Itoa(v)
+}
+
+// loadOrUnknown renders a load average, with 0 meaning unrecorded/idle.
+func loadOrUnknown(v float64) string {
+	if v == 0 {
+		return "unknown"
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}

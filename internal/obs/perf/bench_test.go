@@ -1,0 +1,277 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// rawBench is representative `go test -bench` output: a cpu: line, names
+// carrying go test's "-N" GOMAXPROCS suffix, -benchmem columns on some
+// lines but not others, and non-result noise that must be skipped.
+const rawBench = `goos: linux
+goarch: amd64
+pkg: dynsens/internal/radio
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkEngineRun/n=2000/sparse/workers=1-4         	      10	  52000000 ns/op	 1200000 B/op	    3000 allocs/op
+BenchmarkEngineRun/n=2000/sparse/workers=4-4         	      10	  61000000 ns/op
+BenchmarkSeqStitch-4                                 	  100000	      1200 ns/op	      64 B/op	       2 allocs/op
+PASS
+ok  	dynsens/internal/radio	3.1s
+`
+
+func TestParseGoBench(t *testing.T) {
+	f, err := ParseGoBench(strings.NewReader(rawBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.CPU != "Intel(R) Xeon(R) CPU" {
+		t.Errorf("CPU = %q", f.CPU)
+	}
+	if f.CPUs != 0 || f.GOMAXPROCS != 0 || f.LoadAvg != 0 {
+		t.Errorf("raw output must leave host fields unrecorded: cpus=%d gomaxprocs=%d loadavg=%v",
+			f.CPUs, f.GOMAXPROCS, f.LoadAvg)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	// The "-4" GOMAXPROCS suffix must be stripped so diffs line up across
+	// hosts pinned to different widths.
+	b, ok := f.Result("BenchmarkEngineRun/n=2000/sparse/workers=1")
+	if !ok {
+		t.Fatalf("workers=1 benchmark missing (names: %v)", f.Benchmarks)
+	}
+	if b.Iterations != 10 || b.NsPerOp != 52000000 || b.BytesPerOp != 1200000 || b.AllocsPerOp != 3000 {
+		t.Errorf("workers=1 parsed as %+v", b)
+	}
+	b, ok = f.Result("BenchmarkEngineRun/n=2000/sparse/workers=4")
+	if !ok || b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+		t.Errorf("workers=4 (no -benchmem columns) parsed as %+v ok=%v", b, ok)
+	}
+	if _, ok := f.Result("BenchmarkSeqStitch"); !ok {
+		t.Error("BenchmarkSeqStitch-4 suffix not stripped")
+	}
+}
+
+func TestParseGoBenchEmpty(t *testing.T) {
+	_, err := ParseGoBench(strings.NewReader("PASS\nok pkg 0.1s\n"))
+	if err == nil || !strings.Contains(err.Error(), "no benchmark result lines") {
+		t.Fatalf("err = %v, want no-result-lines error", err)
+	}
+}
+
+func TestLoadBenchFileSniffsFormat(t *testing.T) {
+	dir := t.TempDir()
+	rawPath := filepath.Join(dir, "raw.txt")
+	if err := os.WriteFile(rawPath, []byte(rawBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "bench.json")
+	const jsonFile = `{
+  "generated_by": "scripts/bench.sh",
+  "cpus": 1,
+  "gomaxprocs": 4,
+  "loadavg": 0.25,
+  "benchmarks": [
+    {"name": "BenchmarkEngineRun/n=2000/sparse/workers=1", "iterations": 10, "ns_per_op": 50000000}
+  ],
+  "speedups": {"n_2000_sparse_w4_vs_w1": 0.85}
+}`
+	if err := os.WriteFile(jsonPath, []byte(jsonFile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := LoadBenchFile(rawPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.Benchmarks) != 3 {
+		t.Errorf("raw file: %d benchmarks, want 3", len(raw.Benchmarks))
+	}
+	j, err := LoadBenchFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.GeneratedBy != "scripts/bench.sh" || j.CPUs != 1 || j.GOMAXPROCS != 4 || j.LoadAvg != 0.25 {
+		t.Errorf("json metadata round-trip: %+v", j)
+	}
+	if v := j.Speedups["n_2000_sparse_w4_vs_w1"]; v != 0.85 {
+		t.Errorf("speedups[n_2000_sparse_w4_vs_w1] = %v", v)
+	}
+	if _, err := LoadBenchFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+// bf builds a one-benchmark file for the diff-math tests.
+func bf(cpus int, name string, ns float64) BenchFile {
+	return BenchFile{
+		CPUs:       cpus,
+		Benchmarks: []BenchResult{{Name: name, Iterations: 1, NsPerOp: ns}},
+	}
+}
+
+func TestDiffBenchMath(t *testing.T) {
+	old := BenchFile{Benchmarks: []BenchResult{
+		{Name: "A", NsPerOp: 100},
+		{Name: "B", NsPerOp: 200},
+		{Name: "Gone", NsPerOp: 10},
+		{Name: "Zero", NsPerOp: 0},
+	}}
+	new := BenchFile{Benchmarks: []BenchResult{
+		{Name: "A", NsPerOp: 150}, // +50% regression
+		{Name: "B", NsPerOp: 160}, // -20% improvement
+		{Name: "Zero", NsPerOp: 5},
+		{Name: "Added", NsPerOp: 30},
+	}}
+	d := DiffBench(old, new)
+	if len(d.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(d.Rows))
+	}
+	if r := d.Rows[0]; r.Name != "A" || r.DeltaPct != 50 {
+		t.Errorf("row A = %+v, want +50%%", r)
+	}
+	if r := d.Rows[1]; r.Name != "B" || r.DeltaPct != -20 {
+		t.Errorf("row B = %+v, want -20%%", r)
+	}
+	// Old ns/op of zero cannot yield a finite percentage; the row stays at 0.
+	if r := d.Rows[2]; r.Name != "Zero" || r.DeltaPct != 0 {
+		t.Errorf("row Zero = %+v, want 0%% (guarded division)", r)
+	}
+	if len(d.OnlyOld) != 1 || d.OnlyOld[0] != "Gone" {
+		t.Errorf("OnlyOld = %v", d.OnlyOld)
+	}
+	if len(d.OnlyNew) != 1 || d.OnlyNew[0] != "Added" {
+		t.Errorf("OnlyNew = %v", d.OnlyNew)
+	}
+	if got := d.MaxDeltaPct(); got != 50 {
+		t.Errorf("MaxDeltaPct = %v, want 50", got)
+	}
+	if got := (BenchDiff{}).MaxDeltaPct(); got != 0 {
+		t.Errorf("empty MaxDeltaPct = %v, want 0", got)
+	}
+}
+
+// speedupClaim matches an affirmative "<number>x speedup" claim. The
+// honesty rule allows the *word* in a negation ("not parallel speedup") but
+// never as a claim about a ratio.
+var speedupClaim = regexp.MustCompile(`(?i)[0-9.]+x\s+speedup`)
+
+func TestWriteDiffThresholds(t *testing.T) {
+	cases := []struct {
+		name       string
+		oldNs      float64
+		newNs      float64
+		cpus       int
+		wantFailed bool
+		wantStatus string
+		wantNote   bool // cpus=1 honesty note present
+	}{
+		{name: "within noise", oldNs: 100, newNs: 105, cpus: 4, wantStatus: "ok"},
+		{name: "improvement", oldNs: 100, newNs: 60, cpus: 4, wantStatus: "ok"},
+		{name: "warn band", oldNs: 100, newNs: 130, cpus: 4, wantStatus: "WARN"},
+		{name: "fail band", oldNs: 100, newNs: 180, cpus: 4, wantFailed: true, wantStatus: "FAIL"},
+		{name: "cpus=1 old side", oldNs: 100, newNs: 100, cpus: 1, wantStatus: "ok", wantNote: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old := bf(tc.cpus, "BenchmarkEngineRun", tc.oldNs)
+			new := bf(tc.cpus, "BenchmarkEngineRun", tc.newNs)
+			var sb strings.Builder
+			failed, err := WriteDiff(&sb, old, new, 15, 50)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			if failed != tc.wantFailed {
+				t.Errorf("failed = %v, want %v\n%s", failed, tc.wantFailed, out)
+			}
+			if !strings.Contains(out, tc.wantStatus) {
+				t.Errorf("output missing status %q:\n%s", tc.wantStatus, out)
+			}
+			note := strings.Contains(out, "coordination overhead")
+			if note != tc.wantNote {
+				t.Errorf("cpus=1 note present = %v, want %v\n%s", note, tc.wantNote, out)
+			}
+			if speedupClaim.MatchString(out) {
+				t.Errorf("diff output claims a speedup:\n%s", out)
+			}
+			if !strings.Contains(out, "worst regression:") {
+				t.Errorf("output missing worst-regression summary:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestWriteDiffOnlySides(t *testing.T) {
+	old := bf(4, "OldOnly", 10)
+	new := bf(4, "NewOnly", 20)
+	var sb strings.Builder
+	failed, err := WriteDiff(&sb, old, new, 15, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Error("disjoint files cannot fail the gate")
+	}
+	if !strings.Contains(sb.String(), "only in old: OldOnly") ||
+		!strings.Contains(sb.String(), "only in new: NewOnly") {
+		t.Errorf("missing only-in lines:\n%s", sb.String())
+	}
+}
+
+// TestWriteReportHonesty pins the cpus==1 rule end to end: the same ratio
+// map prints as speedups on a multi-CPU host and as overhead ratios on a
+// single-CPU (or unrecorded) host, never the other way around.
+func TestWriteReportHonesty(t *testing.T) {
+	base := BenchFile{
+		GeneratedBy: "scripts/bench.sh",
+		Benchmarks:  []BenchResult{{Name: "BenchmarkEngineRun", Iterations: 10, NsPerOp: 1000}},
+		Speedups:    map[string]float64{"w4_vs_w1": 1.8},
+	}
+	cases := []struct {
+		name        string
+		cpus        int
+		wantSpeedup bool
+	}{
+		{name: "multi-cpu host may claim speedup", cpus: 8, wantSpeedup: true},
+		{name: "cpus=1 host reports overhead", cpus: 1},
+		{name: "unrecorded cpus reports overhead", cpus: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := base
+			f.CPUs = tc.cpus
+			var sb strings.Builder
+			if err := WriteReport(&sb, f); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			if got := speedupClaim.MatchString(out); got != tc.wantSpeedup {
+				t.Errorf("speedup claim present = %v, want %v\n%s", got, tc.wantSpeedup, out)
+			}
+			if !tc.wantSpeedup {
+				if !strings.Contains(out, "overhead ratio") {
+					t.Errorf("single-cpu report missing overhead wording:\n%s", out)
+				}
+			}
+			if !strings.Contains(out, "BenchmarkEngineRun") {
+				t.Errorf("report missing benchmark table:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestWriteReportNoRatios(t *testing.T) {
+	f := BenchFile{Benchmarks: []BenchResult{{Name: "B", NsPerOp: 1}}}
+	var sb strings.Builder
+	if err := WriteReport(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "speedup") || strings.Contains(out, "ratio") {
+		t.Errorf("ratio section printed for a file with no ratios:\n%s", out)
+	}
+}

@@ -1,0 +1,112 @@
+// Package perf rolls the radio kernel's performance introspection
+// (radio.Perf, see internal/radio/perf.go) up into the observability
+// layer: registry metrics for scraping, a human-readable summary table
+// for dynsim -perf, a background runtime sampler (heap, GC, goroutines),
+// and the BENCH_*.json tooling behind `nettool perf report|diff`.
+//
+// It sits strictly on the consumer side of the dependency arrow: radio
+// never imports obs, and nothing here can reach back into a running
+// kernel — Publish and WriteSummary work from immutable PerfSnapshot
+// values.
+package perf
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+
+	"dynsens/internal/obs"
+	"dynsens/internal/radio"
+)
+
+// Publish folds a kernel perf snapshot into the registry under the
+// dynsens_kernel_* names (see docs/observability.md for the catalog).
+// Totals are published with gauge Set semantics so re-publishing a later
+// snapshot of the same collector replaces rather than double-counts;
+// the per-shard busy-time histogram, being cumulative, is only meaningful
+// from the final publish of a run. Extra labels are applied to every
+// series.
+func Publish(reg *obs.Registry, s radio.PerfSnapshot, labels ...obs.Label) {
+	reg.Gauge("dynsens_kernel_runs", "engine runs folded into the perf collector", labels...).Set(s.Runs)
+	reg.Gauge("dynsens_kernel_rounds_total", "rounds executed across collected runs", labels...).Set(s.Rounds)
+	reg.Gauge("dynsens_kernel_events_total", "trace events emitted across collected runs", labels...).Set(s.Events)
+	reg.Gauge("dynsens_kernel_wall_ns_total", "wall-clock nanoseconds spent inside Engine.Run", labels...).Set(s.WallNs)
+	for _, ph := range s.Phases {
+		ls := append(append([]obs.Label(nil), labels...), obs.L("phase", ph.Name))
+		reg.Gauge("dynsens_kernel_phase_ns_total",
+			"wall-clock nanoseconds per kernel phase (act/resolve/deliver include barrier-wait; see docs/performance.md)",
+			ls...).Set(ph.Ns)
+	}
+	reg.Gauge("dynsens_kernel_load_imbalance_permille",
+		"max/mean per-shard busy time x1000; 1000 = perfectly balanced shards",
+		labels...).Set(int64(s.Imbalance() * 1000))
+	reg.Gauge("dynsens_kernel_events_per_round_permille",
+		"mean trace events per executed round x1000",
+		labels...).Set(int64(s.EventsPerRound() * 1000))
+	hist := reg.Histogram("dynsens_kernel_shard_busy_ns",
+		"per-shard busy time across collected runs (power-of-two ns buckets)",
+		obs.TimerBuckets(), labels...)
+	for _, ns := range s.ShardBusyNs {
+		hist.Observe(float64(ns))
+	}
+}
+
+// WriteSummary renders the snapshot as the aligned table behind
+// `dynsim -perf`: per-phase wall time with share-of-run percentages, the
+// barrier-wait subset, per-shard busy times with the imbalance gauge, and
+// the run/round/event totals.
+func WriteSummary(w io.Writer, s radio.PerfSnapshot) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintf(tw, "kernel perf: %d run(s), %d rounds, %d events (%.1f events/round)\n",
+		s.Runs, s.Rounds, s.Events, s.EventsPerRound()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(tw, "PHASE\tTIME\tSHARE"); err != nil {
+		return err
+	}
+	for _, ph := range s.Phases {
+		share := 0.0
+		if s.WallNs > 0 {
+			share = 100 * float64(ph.Ns) / float64(s.WallNs)
+		}
+		note := ""
+		if ph.Name == "barrier-wait" {
+			note = "  (subset of the three phase walls)"
+		}
+		if _, err := fmt.Fprintf(tw, "%s\t%s\t%.1f%%%s\n", ph.Name, fmtNs(ph.Ns), share, note); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(tw, "total wall\t%s\t100.0%%\n", fmtNs(s.WallNs)); err != nil {
+		return err
+	}
+	if len(s.ShardBusyNs) > 0 {
+		if _, err := fmt.Fprintln(tw, "SHARD\tBUSY\t"); err != nil {
+			return err
+		}
+		for i, ns := range s.ShardBusyNs {
+			if _, err := fmt.Fprintf(tw, "%d\t%s\t\n", i, fmtNs(ns)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(tw, "imbalance\t%.2fx\tmax/mean shard busy (1.00x = balanced)\n", s.Imbalance()); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// fmtNs renders a nanosecond count at a human scale (ns/µs/ms/s).
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return strconv.FormatFloat(float64(ns)/1e9, 'f', 3, 64) + "s"
+	case ns >= 1e6:
+		return strconv.FormatFloat(float64(ns)/1e6, 'f', 2, 64) + "ms"
+	case ns >= 1e3:
+		return strconv.FormatFloat(float64(ns)/1e3, 'f', 1, 64) + "µs"
+	default:
+		return strconv.FormatInt(ns, 10) + "ns"
+	}
+}

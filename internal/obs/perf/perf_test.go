@@ -1,0 +1,185 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dynsens/internal/obs"
+	"dynsens/internal/radio"
+)
+
+// testSnapshot is a hand-built kernel snapshot with easily checkable
+// derived values: imbalance 1.5x (max 300 over mean 200), 3 events/round.
+func testSnapshot() radio.PerfSnapshot {
+	return radio.PerfSnapshot{
+		Runs:   2,
+		Rounds: 10,
+		Events: 30,
+		WallNs: 1000,
+		Phases: []radio.PhaseTime{
+			{Name: "act", Ns: 400},
+			{Name: "resolve", Ns: 250},
+			{Name: "deliver", Ns: 250},
+			{Name: "seq-stitch", Ns: 100},
+			{Name: "barrier-wait", Ns: 50},
+		},
+		ShardBusyNs: []int64{300, 100},
+	}
+}
+
+func TestPublish(t *testing.T) {
+	reg := obs.NewRegistry()
+	Publish(reg, testSnapshot())
+	var sb strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dynsens_kernel_runs 2",
+		"dynsens_kernel_rounds_total 10",
+		"dynsens_kernel_events_total 30",
+		"dynsens_kernel_wall_ns_total 1000",
+		`dynsens_kernel_phase_ns_total{phase="act"} 400`,
+		`dynsens_kernel_phase_ns_total{phase="barrier-wait"} 50`,
+		"dynsens_kernel_load_imbalance_permille 1500",
+		"dynsens_kernel_events_per_round_permille 3000",
+		"dynsens_kernel_shard_busy_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPublishReplaces checks the Set semantics: re-publishing a later
+// snapshot of the same collector replaces gauge values instead of
+// double-counting them.
+func TestPublishReplaces(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := testSnapshot()
+	Publish(reg, s)
+	s.Rounds = 25
+	Publish(reg, s)
+	var sb strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dynsens_kernel_rounds_total 25") {
+		t.Errorf("re-publish did not replace the gauge:\n%s", sb.String())
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSummary(&sb, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"2 run(s), 10 rounds, 30 events (3.0 events/round)",
+		"act", "resolve", "deliver", "seq-stitch",
+		"barrier-wait",
+		"(subset of the three phase walls)",
+		"40.0%", // act 400 of 1000
+		"total wall",
+		"1.50x", // imbalance: max 300 / mean 200
+		"max/mean shard busy",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteSummaryEmpty pins the zero-value snapshot path: no shards, no
+// wall time, and the share math must not divide by zero.
+func TestWriteSummaryEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSummary(&sb, radio.PerfSnapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0 run(s)") {
+		t.Errorf("empty summary:\n%s", sb.String())
+	}
+}
+
+func TestFmtNs(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{999, "999ns"},
+		{1500, "1.5µs"},
+		{2500000, "2.50ms"},
+		{3210000000, "3.210s"},
+	}
+	for _, tc := range cases {
+		if got := fmtNs(tc.ns); got != tc.want {
+			t.Errorf("fmtNs(%d) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}
+
+func TestSamplerSample(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewSampler(reg)
+	s.Sample()
+	if got := s.Samples(); got != 1 {
+		t.Fatalf("Samples() = %d, want 1", got)
+	}
+	var sb strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"dynsens_runtime_heap_alloc_bytes",
+		"dynsens_runtime_heap_sys_bytes",
+		"dynsens_runtime_goroutines",
+		"dynsens_runtime_gc_cycles_total",
+		"dynsens_runtime_gc_pause_ns_total",
+		"dynsens_runtime_gc_pause_ns_bucket",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %s:\n%s", name, out)
+		}
+	}
+	// A live process always has a heap and at least this goroutine.
+	if strings.Contains(out, "dynsens_runtime_heap_alloc_bytes 0\n") {
+		t.Error("heap_alloc sampled as 0")
+	}
+	if strings.Contains(out, "dynsens_runtime_goroutines 0\n") {
+		t.Error("goroutines sampled as 0")
+	}
+}
+
+// TestSamplerStartStop checks the lifecycle contract without depending on
+// ticker timing: Start is idempotent, Stop takes a final sample and waits
+// for the loop to exit, and a second Stop (or one without Start) is a
+// no-op.
+func TestSamplerStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewSampler(reg)
+	s.Stop() // never started: must not panic or sample
+	if got := s.Samples(); got != 0 {
+		t.Fatalf("Stop without Start took %d samples", got)
+	}
+	s.Start(time.Hour) // interval long enough that only Stop's final sample fires
+	s.Start(time.Hour) // second Start is a no-op
+	s.Stop()
+	if got := s.Samples(); got != 1 {
+		t.Fatalf("Samples() after Start/Stop = %d, want 1 (Stop's final sample)", got)
+	}
+	s.Stop() // idempotent
+	if got := s.Samples(); got != 1 {
+		t.Fatalf("second Stop changed sample count to %d", got)
+	}
+	// The sampler can be restarted after a Stop.
+	s.Start(time.Hour)
+	s.Stop()
+	if got := s.Samples(); got != 2 {
+		t.Fatalf("Samples() after restart = %d, want 2", got)
+	}
+}

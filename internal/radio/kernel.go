@@ -104,6 +104,11 @@ type shard struct {
 	cand  []int32      // per-listener candidate scratch, reset for each listener
 	deliv []deliverRec // successful receptions, ascending listener order
 
+	// busyNs accumulates wall-clock time spent inside this shard's phase
+	// bodies (perf runs only). Written by the shard's worker goroutine
+	// between barriers, read by flushPerf after the final barrier.
+	busyNs int64
+
 	// Event tallies for the round; when traced, nRx == len(evRx).
 	nRx, nLoss, nDel, nCol int
 
@@ -190,6 +195,15 @@ type kernel struct {
 	// kernel runs single-shard inline.
 	reqs []chan phaseReq
 	wg   sync.WaitGroup
+
+	// Perf instrumentation (see perf.go). perfOn gates every clock read so
+	// uninstrumented runs pay only predictable branches; the accumulators
+	// are goroutine-local until flushPerf folds them into e.perf.
+	perfOn      bool
+	perfStart   int64 // nanotime at run start
+	perfSeq0    uint64
+	perfPhaseNs [numPerfPhases]int64
+	roundsDone  int
 }
 
 const neverDies = int(^uint(0) >> 1)
@@ -220,6 +234,7 @@ func (e *Engine) newKernel() *kernel {
 		listens:   make([]int, n),
 		transmits: make([]int, n),
 		traced:    e.trace != nil || e.traceBatch != nil,
+		perfOn:    e.perf != nil,
 	}
 	for i, id := range nodes {
 		k.idx[id] = int32(i)
@@ -333,8 +348,24 @@ func (k *kernel) stopPool() {
 
 func (k *kernel) worker(s int) {
 	sh := &k.shards[s]
+	if !k.perfOn {
+		for req := range k.reqs[s] {
+			k.runPhase(sh, req.op, req.round)
+			k.wg.Done()
+		}
+		return
+	}
+	// Perf runs: label the goroutine per (shard, phase) so CPU profiles
+	// attribute samples to kernel phases, and accumulate shard busy time
+	// around each phase body. Labels are precomputed contexts — applying
+	// one is a pointer swap, not an allocation.
+	labels := workerLabels(s)
+	defer clearWorkerLabels()
 	for req := range k.reqs[s] {
+		setWorkerLabels(labels[req.op])
+		t0 := nanotime()
 		k.runPhase(sh, req.op, req.round)
+		sh.busyNs += nanotime() - t0
 		k.wg.Done()
 	}
 }
@@ -357,6 +388,12 @@ func (k *kernel) runPhase(sh *shard, op phaseOp, round int) {
 // later phases and lets the serial steps read all shard scratch.
 func (k *kernel) phase(op phaseOp, round int) {
 	if k.reqs == nil {
+		if k.perfOn {
+			t0 := nanotime()
+			k.runPhase(&k.shards[0], op, round)
+			k.shards[0].busyNs += nanotime() - t0
+			return
+		}
 		k.runPhase(&k.shards[0], op, round)
 		return
 	}
@@ -364,20 +401,33 @@ func (k *kernel) phase(op phaseOp, round int) {
 	for s := range k.reqs {
 		k.reqs[s] <- phaseReq{op: op, round: round}
 	}
-	k.wg.Wait()
+	if k.perfOn {
+		t0 := nanotime()
+		k.wg.Wait()
+		k.perfPhaseNs[perfBarrier] += nanotime() - t0
+	} else {
+		k.wg.Wait()
+	}
 }
 
 func (k *kernel) run(maxRounds int) Result {
 	e := k.e
+	if k.perfOn {
+		k.perfStart = nanotime()
+		k.perfSeq0 = e.seq
+		defer k.flushPerf()
+	}
 	if len(k.shards) > 1 {
 		k.startPool()
 		defer k.stopPool()
 	}
+	clk := perfClock{on: k.perfOn}
 	res := Result{
 		Awake:     make(map[graph.NodeID]int, len(k.nodes)),
 		Listens:   make(map[graph.NodeID]int, len(k.nodes)),
 		Transmits: make(map[graph.NodeID]int, len(k.nodes)),
 	}
+	clk.start()
 	for round := 1; round <= maxRounds; round++ {
 		// Scheduled failures fire first and are traced even if this very
 		// round quiesces (reference semantics).
@@ -393,12 +443,17 @@ func (k *kernel) run(maxRounds int) Result {
 		if k.notDone == 0 {
 			res.Rounds = round - 1
 			res.Quiesced = true
+			clk.lap(&k.perfPhaseNs[perfStitch])
 			k.fill(&res)
 			return res
 		}
 
-		// Act: node-local, sharded.
+		// Act: node-local, sharded. The perfClock laps attribute the Run
+		// goroutine's time: each phase dispatch (including its barrier wait,
+		// tracked separately inside phase) vs the serial stitch segments.
+		clk.lap(&k.perfPhaseNs[perfStitch])
 		k.phase(opAct, round)
+		clk.lap(&k.perfPhaseNs[perfAct])
 
 		// Serial stitch A: prefix-sum the transmit-event counts into
 		// per-shard Seq bases (shard order = ascending node order = the
@@ -416,7 +471,9 @@ func (k *kernel) run(maxRounds int) Result {
 
 		// Resolve: node-local, sharded; stamps the act buffers, draws each
 		// listener's coins in-shard, stages rx events.
+		clk.lap(&k.perfPhaseNs[perfStitch])
 		k.phase(opResolve, round)
+		clk.lap(&k.perfPhaseNs[perfResolve])
 
 		// Serial stitch B: hand the stamped transmit buffers to the trace
 		// hooks in shard order, prefix-sum the rx-event counts into bases,
@@ -435,7 +492,9 @@ func (k *kernel) run(maxRounds int) Result {
 
 		// Deliver: node-local, sharded; stamps the rx buffers, applies
 		// receptions, re-evaluates Done where it could have flipped.
+		clk.lap(&k.perfPhaseNs[perfStitch])
 		k.phase(opDeliver, round)
+		clk.lap(&k.perfPhaseNs[perfDeliver])
 
 		// Serial stitch C: sink the stamped rx buffers, refresh quiescence.
 		for s := range k.shards {
@@ -444,7 +503,9 @@ func (k *kernel) run(maxRounds int) Result {
 			k.notDone -= sh.newlyDone
 		}
 		res.Rounds = round
+		k.roundsDone = round
 	}
+	clk.lap(&k.perfPhaseNs[perfStitch])
 	// Deaths scheduled for round maxRounds+1 precede the final quiescence
 	// check but fall outside the loop, so they emit no events (reference
 	// semantics: nodeAlive(id, maxRounds+1)).

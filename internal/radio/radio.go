@@ -249,6 +249,7 @@ type Engine struct {
 	one        [1]Event // reusable single-event batch for emit
 	seq        uint64   // monotonic Event.Seq counter
 	workers    int      // shard workers for Run's parallel phases; 0 = default
+	perf       *Perf    // optional performance collector (see perf.go); nil = off
 
 	// lossRate drops each (transmitter, listener, round) frame
 	// independently with this probability; lossSeed keys the per-(listener,

@@ -22,12 +22,20 @@ OUT="${OUT:-BENCH_PR2.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
+# Host honesty metadata, stamped into every BENCH_*.json: the CPU count
+# qualifies every derived ratio (on cpus=1 a workers=N "speedup" is pure
+# coordination overhead — `nettool perf report` refuses to call it a
+# speedup), and the 1-minute load average flags a noisy host.
+CPUS="$(nproc)"
+LOADAVG="$(cut -d' ' -f1 /proc/loadavg 2>/dev/null || echo 0)"
+
 echo "running benchmarks (-benchtime $BENCHTIME)..." >&2
 go test -run '^$' \
   -bench 'UDGBuild|ChurnReplay|MobilityReplay|NeighborsCached|SteadyStateBroadcast' \
   -benchtime "$BENCHTIME" -benchmem . | tee "$RAW" >&2
 
-awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" '
+awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" \
+  -v cpus="$CPUS" -v procs="${GOMAXPROCS:-$CPUS}" -v loadavg="$LOADAVG" '
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ && NF >= 4 {
     name = $1; iters = $2; ns = $3
@@ -46,6 +54,9 @@ END {
     printf "  \"generated_by\": \"scripts/bench.sh\",\n"
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"cpus\": %s,\n", cpus
+    printf "  \"gomaxprocs\": %s,\n", procs
+    printf "  \"loadavg\": %s,\n", loadavg
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) {
@@ -89,7 +100,8 @@ GOMAXPROCS="$ENGINE_GOMAXPROCS" go test -run '^$' \
   -bench '^BenchmarkEngineRun$' \
   -benchtime "$BENCHTIME" -benchmem -timeout 90m ./internal/radio | tee "$RAW5" >&2
 
-awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" -v procs="$ENGINE_GOMAXPROCS" '
+awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" \
+  -v procs="$ENGINE_GOMAXPROCS" -v cpus="$CPUS" -v loadavg="$LOADAVG" '
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ && NF >= 4 {
     name = $1; iters = $2; ns = $3
@@ -111,7 +123,9 @@ END {
     printf "  \"generated_by\": \"scripts/bench.sh\",\n"
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"cpus\": %s,\n", cpus
     printf "  \"gomaxprocs\": %s,\n", procs
+    printf "  \"loadavg\": %s,\n", loadavg
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) {
@@ -170,7 +184,7 @@ GOMAXPROCS="$ENGINE_GOMAXPROCS" go test -run '^$' \
   -benchtime "$BENCHTIME" -benchmem -timeout 90m ./internal/radio | tee "$RAW7" >&2
 
 cat "$RAW5" "$RAW7" | awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" \
-  -v procs="$ENGINE_GOMAXPROCS" -v cpus="$(nproc)" '
+  -v procs="$ENGINE_GOMAXPROCS" -v cpus="$CPUS" -v loadavg="$LOADAVG" '
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ && NF >= 4 {
     name = $1; iters = $2; ns = $3
@@ -192,6 +206,7 @@ END {
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"cpus\": %s,\n", cpus
     printf "  \"gomaxprocs\": %s,\n", procs
+    printf "  \"loadavg\": %s,\n", loadavg
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) {

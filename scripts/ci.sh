@@ -114,4 +114,17 @@ echo "== bench smoke"
 # measurement runs. scripts/bench.sh does the real runs.
 go test -run '^$' -bench . -benchtime 1x -short ./...
 
+echo "== bench regression gate"
+# One small, fast EngineRun leg against the committed baseline
+# (scripts/bench_baseline.json, regenerated with `nettool perf import`
+# after an intentional perf change): warn past 15%, fail past 50% ns/op.
+# The wide fail band absorbs CI host noise while still catching a kernel
+# that got categorically slower (docs/performance.md, "Kernel
+# introspection").
+go test -run '^$' -bench '^BenchmarkEngineRun$/^n=2000$/^sparse$/^workers=1$' \
+    -benchtime 5x ./internal/radio > "$replay_dir/bench_raw.txt"
+go run ./cmd/nettool perf import -o "$replay_dir/bench_new.json" "$replay_dir/bench_raw.txt"
+go run ./cmd/nettool perf diff -warn 15 -fail 50 \
+    scripts/bench_baseline.json "$replay_dir/bench_new.json"
+
 echo "CI OK"
