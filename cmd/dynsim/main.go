@@ -21,12 +21,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/exec"
 	"strings"
 	"time"
 
 	"dynsens/internal/broadcast"
 	"dynsens/internal/cnet"
 	"dynsens/internal/core"
+	"dynsens/internal/dist"
 	"dynsens/internal/flight"
 	"dynsens/internal/gather"
 	"dynsens/internal/graph"
@@ -56,8 +58,24 @@ func main() {
 	flag.StringVar(&cfg.RecordPath, "record", "", "write a binary flight recording here (replay with: nettool replay)")
 	flag.IntVar(&cfg.RecordRing, "record-ring", 0, "bound the recording to the last N radio events (0 = keep all)")
 	flag.BoolVar(&cfg.Perf, "perf", false, "collect kernel perf introspection and print a per-phase/per-shard summary (results are byte-identical either way)")
+	flag.StringVar(&cfg.Runtime, "runtime", "", "execution runtime: kernel (in-process, default) or dist (message-passing actor nodes; byte-identical results)")
+	flag.StringVar(&cfg.DNode, "dnode", "", "path to a dnode binary: run each node as its own OS process (implies -runtime dist; scenario mode only)")
 	scenarioPath := flag.String("scenario", "", "run a declarative .dsn scenario file instead (exit 1 if an assertion fails; see docs/scenarios.md)")
 	flag.Parse()
+
+	switch cfg.Runtime {
+	case "", broadcast.RuntimeKernel, broadcast.RuntimeDist:
+	default:
+		fmt.Fprintf(os.Stderr, "dynsim: unknown -runtime %q (kernel|dist)\n", cfg.Runtime)
+		os.Exit(1)
+	}
+	if cfg.DNode != "" {
+		cfg.Runtime = broadcast.RuntimeDist
+		if *scenarioPath == "" {
+			fmt.Fprintln(os.Stderr, "dynsim: -dnode needs -scenario (the children reload the scenario file)")
+			os.Exit(1)
+		}
+	}
 
 	if *scenarioPath != "" {
 		os.Exit(runScenario(*scenarioPath, cfg))
@@ -77,9 +95,14 @@ func runScenario(path string, cfg runConfig) int {
 		fmt.Fprintf(os.Stderr, "dynsim: %v\n", err)
 		return 1
 	}
-	opts := scenario.RunOptions{Workers: cfg.Workers, Record: cfg.RecordPath != ""}
+	opts := scenario.RunOptions{Workers: cfg.Workers, Record: cfg.RecordPath != "", Runtime: cfg.Runtime}
 	if scenario.FlightCapable(s.Spec.Protocol) {
 		opts.Verify = true
+	}
+	if cfg.DNode != "" {
+		opts.Fleet = &dist.ProcFleet{Command: func(id graph.NodeID) *exec.Cmd {
+			return exec.Command(cfg.DNode, "-scenario", path, "-node", fmt.Sprint(id))
+		}}
 	}
 	res, err := scenario.Run(s, opts)
 	if err != nil {
@@ -136,6 +159,15 @@ type runConfig struct {
 	// dynsens_kernel_* series plus a background runtime sampler. Strictly
 	// read-only — simulation output is byte-identical either way.
 	Perf bool
+	// Runtime selects the execution runtime: "" or "kernel" runs the
+	// in-process radio kernel, "dist" hosts each Program as a
+	// message-passing actor node behind the round coordinator. Results are
+	// byte-identical.
+	Runtime string
+	// DNode, when non-empty, is the path to a dnode binary: the dist
+	// runtime launches one OS process per node (scenario mode only, since
+	// the children rebuild their Programs from the scenario file).
+	DNode string
 }
 
 // wantObs reports whether the scenario needs a metrics registry at all.
@@ -260,7 +292,10 @@ func run(cfg runConfig) error {
 	fmt.Printf("degrees/slots: D=%d d=%d Delta=%d delta=%d (Lemma 3 bounds %d / %d)\n",
 		st.DegreeG, st.DegreeBT, st.Delta, st.SmallDelta, st.BoundL, st.BoundB)
 
-	opts := broadcast.Options{Channels: cfg.Channels, Workers: cfg.Workers, Obs: reg}
+	if cfg.Runtime == broadcast.RuntimeDist && cfg.Protocol == "gather" {
+		return fmt.Errorf("-runtime dist supports broadcast protocols, not gather")
+	}
+	opts := broadcast.Options{Channels: cfg.Channels, Workers: cfg.Workers, Obs: reg, Runtime: cfg.Runtime}
 	var perf *radio.Perf
 	var sampler *obsperf.Sampler
 	if cfg.Perf {

@@ -3,10 +3,22 @@ package broadcast
 import (
 	"fmt"
 
+	"dynsens/internal/dist"
 	"dynsens/internal/flight"
 	"dynsens/internal/graph"
 	"dynsens/internal/obs"
 	"dynsens/internal/radio"
+)
+
+// Runtimes a plan can execute on.
+const (
+	// RuntimeKernel is the in-process shard-parallel kernel (the default).
+	RuntimeKernel = "kernel"
+	// RuntimeDist is the distributed actor runtime (internal/dist): every
+	// program becomes an isolated message-passing node behind a framed
+	// connection, driven round by round by a coordinator. Byte-identical
+	// results and recordings for the same seed and scenario.
+	RuntimeDist = "dist"
 )
 
 // NodeFailure kills a node at the start of a round during the run.
@@ -68,7 +80,22 @@ type Options struct {
 	// times, round/event throughput. Strictly read-only — results, traces
 	// and recordings are byte-identical with or without it. Safe to share
 	// across concurrent runs; see internal/obs/perf for rendering.
+	// Kernel-runtime only; the distributed runtime ignores it.
 	Perf *radio.Perf
+	// Runtime selects the execution substrate: RuntimeKernel (default) or
+	// RuntimeDist. Both produce byte-identical metrics, traces and
+	// recordings for the same plan and options — the distributed runtime's
+	// equivalence obligation (see internal/dist).
+	Runtime string
+	// Fleet overrides the distributed runtime's transport; nil hosts each
+	// program on its own goroutine behind an in-memory pipe (LocalFleet).
+	// Supply a dist.ProcFleet of cmd/dnode children or a dist.TCPFleet for
+	// process or network isolation. RuntimeDist only.
+	Fleet dist.Fleet
+	// Nemesis schedules distributed-runtime fault injection — crashes and
+	// healing partitions — on top of Failures/LinkFailures/LossRate.
+	// RuntimeDist only.
+	Nemesis *dist.Nemesis
 }
 
 func (o Options) channels() int {
@@ -202,14 +229,65 @@ func (p *Plan) Preload(has map[graph.NodeID]bool) {
 	}
 }
 
+// roundEngine is the round-driver surface Plan.Run needs; both the
+// in-process kernel (*radio.Engine) and the distributed coordinator
+// (*dist.Coordinator) provide it, so every sink, failure and skew knob is
+// plumbed identically — which is what makes the two runtimes' recordings
+// byte-comparable.
+type roundEngine interface {
+	SetTrace(func(radio.Event))
+	SetTraceBatch(func([]radio.Event))
+	FailNodeAt(id graph.NodeID, r int)
+	FailLinkAt(u, v graph.NodeID, r int)
+	SetClockSkew(id graph.NodeID, offset int)
+	SetLoss(rate float64, seed int64) error
+	Run(maxRounds int) radio.Result
+}
+
+// newEngine builds the runtime opts.Runtime selects.
+func (p *Plan) newEngine(g *graph.Graph, opts Options) (roundEngine, func(), error) {
+	switch opts.Runtime {
+	case "", RuntimeKernel:
+		eng, err := radio.NewEngine(g, p.Programs)
+		if err != nil {
+			return nil, nil, err
+		}
+		eng.SetWorkers(opts.Workers)
+		eng.SetPerf(opts.Perf)
+		return eng, func() {}, nil
+	case RuntimeDist:
+		fleet := opts.Fleet
+		external := fleet != nil
+		if fleet == nil {
+			fleet = dist.NewLocalFleet(p.Programs)
+		}
+		coord, err := dist.NewCoordinator(g, fleet)
+		if err != nil {
+			return nil, nil, err
+		}
+		if external {
+			// An external fleet (ProcFleet, TCPFleet) hosts its own
+			// reconstructions of the Programs; mirror deliveries into the
+			// local copies so the post-run Received() metrics fill sees
+			// them. The default LocalFleet serves these very objects, so
+			// mirroring there would double-deliver.
+			coord.MirrorDeliveries(p.Programs)
+		}
+		if opts.Nemesis != nil {
+			coord.SetNemesis(*opts.Nemesis)
+		}
+		return coord, func() { _ = coord.Close() }, nil
+	}
+	return nil, nil, fmt.Errorf("broadcast: unknown runtime %q (kernel|dist)", opts.Runtime)
+}
+
 // Run executes the plan on the given graph.
 func (p *Plan) Run(g *graph.Graph, opts Options) (Metrics, error) {
-	eng, err := radio.NewEngine(g, p.Programs)
+	eng, done, err := p.newEngine(g, opts)
 	if err != nil {
 		return Metrics{}, err
 	}
-	eng.SetWorkers(opts.Workers)
-	eng.SetPerf(opts.Perf)
+	defer done()
 	var col *obs.RadioCollector
 	if opts.Obs != nil {
 		col = obs.NewRadioCollector(opts.Obs, obs.L("protocol", p.Protocol))

@@ -1,0 +1,80 @@
+package dist
+
+import "dynsens/internal/graph"
+
+// Nemesis is the scripted fault injector of the distributed runtime. It
+// speaks the radio model's own vocabulary, so every fault it injects leaves
+// a verifiable trail in the recording:
+//
+//   - Crashes kill a node at the start of a round, exactly like the
+//     engine's FailNodeAt (an EvNodeFail event, then silence) — churn is a
+//     crash list.
+//   - Partitions silence the links crossing a node-set boundary for a round
+//     window and then heal. A frame swallowed by a partition is recorded as
+//     an EvLoss for that (listener, transmitter) pair — the radio model's
+//     "the listener never hears it" — which keeps flight.Verify's
+//     delivery-consistency replay exact while the partition is up and after
+//     it heals. (EvLinkFail would be wrong: recorded link cuts are
+//     permanent, and a healed link would make later deliveries look
+//     inconsistent.)
+//   - Frame loss is the engine's own loss model; script it with
+//     Coordinator.SetLoss.
+//
+// On top of the script, the coordinator folds *unscripted* faults — a node
+// process dying mid-round, a node never answering a barrier — into the same
+// schedule: the node is marked crashed and dies at the start of the next
+// round, matching the kernel's failure-schedule semantics.
+type Nemesis struct {
+	Partitions []Partition
+	Crashes    []Crash
+}
+
+// Partition silences every link between Side and the rest of the network
+// during rounds [From, To] (inclusive, 1-based), then heals.
+type Partition struct {
+	From, To int
+	Side     []graph.NodeID
+}
+
+// Crash kills a node at the start of Round, like Engine.FailNodeAt.
+type Crash struct {
+	Node  graph.NodeID
+	Round int
+}
+
+// partitions is the run-time form: one membership set per scripted
+// partition.
+type partitions struct {
+	spans []Partition
+	side  []map[graph.NodeID]bool
+}
+
+func newPartitions(spans []Partition) *partitions {
+	if len(spans) == 0 {
+		return nil
+	}
+	p := &partitions{spans: spans, side: make([]map[graph.NodeID]bool, len(spans))}
+	for i, s := range spans {
+		p.side[i] = make(map[graph.NodeID]bool, len(s.Side))
+		for _, id := range s.Side {
+			p.side[i][id] = true
+		}
+	}
+	return p
+}
+
+// cuts reports whether any partition active in round separates u from v.
+func (p *partitions) cuts(round int, u, v graph.NodeID) bool {
+	if p == nil {
+		return false
+	}
+	for i, s := range p.spans {
+		if round < s.From || round > s.To {
+			continue
+		}
+		if p.side[i][u] != p.side[i][v] {
+			return true
+		}
+	}
+	return false
+}

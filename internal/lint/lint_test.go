@@ -143,6 +143,38 @@ func TestShardsafeModuleFixture(t *testing.T) {
 	}
 }
 
+// TestDistNodeFixture loads the distributed-node mini-module: a
+// ServeNode-shaped host loop annotated //dynlint:shardsafe that reaches a
+// trace sink and the global math/rand stream, plus a Program leaking
+// state into the host. The distributed runtime's hosts carry the same
+// determinism obligations as kernel shard phases, and this fixture is
+// what keeps the analyzers enforcing that on the dist node loop shape.
+func TestDistNodeFixture(t *testing.T) {
+	root := filepath.Join("testdata", "src", "distnode")
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fixtureWants(t, filepath.Join(root, "internal", "node"))
+	for key, analyzers := range fixtureWants(t, filepath.Join(root, "internal", "trace")) {
+		want[key] = analyzers
+	}
+	if len(want) == 0 {
+		t.Fatal("no want markers in distnode fixture")
+	}
+	got := findingsByLine(Run(pkgs, All))
+	for key, analyzers := range want {
+		if strings.Join(got[key], ",") != strings.Join(analyzers, ",") {
+			t.Errorf("%s: want findings %v, got %v", key, analyzers, got[key])
+		}
+	}
+	for key, analyzers := range got {
+		if len(want[key]) == 0 {
+			t.Errorf("%s: unexpected findings %v", key, analyzers)
+		}
+	}
+}
+
 // TestFixturesLoad parses and type-checks every fixture directory under
 // testdata/src, so fixtures cannot bit-rot uncompiled: the go tool ignores
 // testdata, making this test (also run by the CI fuzz-smoke step) the only

@@ -1,0 +1,3 @@
+module distnode
+
+go 1.22

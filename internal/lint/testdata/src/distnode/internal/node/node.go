@@ -1,0 +1,86 @@
+// Package node mimics internal/dist's node host loop: ServeNode-shaped
+// hosts run one goroutine or process per node and carry the same
+// determinism obligations as the kernel's shard phases — a host may touch
+// only its frames and its own Program. The fixture pins that an annotated
+// host loop reaching an event sink (internal/trace) or the global
+// math/rand stream fails the build, and that a Program leaking state into
+// the host fails progpurity.
+package node
+
+import (
+	"math/rand"
+
+	"distnode/internal/trace"
+)
+
+// Program mirrors the radio per-node contract; the compile-time
+// assertions below are what opt the implementations into progpurity.
+type Program interface {
+	Act(round int) int
+	Deliver(round int, msg int)
+	Done() bool
+}
+
+// frame is a stand-in wire frame.
+type frame struct {
+	Round int
+	Value int
+}
+
+// stats is host-global mutable state; a Program touching it is impure.
+var stats = map[string]int{}
+
+// badServe leaks observability into the actor loop: it emits to the trace
+// sink and draws jitter from the global rand stream — both host-contract
+// violations the distributed runtime's build gate must catch.
+//
+//dynlint:shardsafe node hosts run concurrently; a host may touch only its frames and its own Program
+func badServe(p Program, in <-chan frame) {
+	for f := range in {
+		trace.Emit(f.Round)       // want dynlint/shardsafe
+		if rand.Float64() < 0.5 { // want dynlint/nondeterminism dynlint/shardsafe
+			continue
+		}
+		_ = p.Act(f.Round)
+	}
+}
+
+// goodServe honors the contract: frames in, program calls, frames out.
+// Nothing here is flagged.
+//
+//dynlint:shardsafe node hosts run concurrently; a host may touch only its frames and its own Program
+func goodServe(p Program, in <-chan frame, out chan<- frame) {
+	for f := range in {
+		p.Deliver(f.Round, f.Value)
+		out <- frame{Round: f.Round, Value: p.Act(f.Round)}
+	}
+}
+
+// chattyProg reports into the host's stats map from Deliver — the
+// host/program boundary violation progpurity exists to catch: with
+// out-of-process fleets that state silently diverges between the
+// coordinator's copy and the child's.
+type chattyProg struct{ done bool }
+
+var _ Program = (*chattyProg)(nil)
+
+func (c *chattyProg) Act(round int) int          { return round }
+func (c *chattyProg) Deliver(round int, msg int) { stats["rx"]++ } // want dynlint/progpurity
+func (c *chattyProg) Done() bool                 { return c.done }
+
+// quietProg keeps everything receiver-owned. Nothing here is flagged.
+type quietProg struct {
+	heard int
+	done  bool
+}
+
+var _ Program = (*quietProg)(nil)
+
+func (q *quietProg) Act(round int) int { return round + q.heard }
+func (q *quietProg) Deliver(round int, msg int) {
+	q.heard++
+	if q.heard >= 2 {
+		q.done = true
+	}
+}
+func (q *quietProg) Done() bool { return q.done }

@@ -1,0 +1,8 @@
+// Package trace is a stand-in for the repo's internal/trace event sink:
+// a distributed node host reaching it must be flagged exactly as a kernel
+// shard phase would be (the analyzer matches forbidden packages by
+// import-path suffix, so the fixture module's own path works).
+package trace
+
+// Emit records one value.
+func Emit(v int) {}

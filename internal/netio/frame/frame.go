@@ -1,0 +1,367 @@
+// Package frame is the wire codec of the distributed runtime
+// (internal/dist): length-prefixed binary frames carrying the round-barrier
+// protocol between the coordinator and its actor nodes. A frame is a uvarint
+// payload length followed by the payload — one kind byte, then the kind's
+// fields as varints — so the codec works unchanged over any byte stream:
+// in-memory pipes, a child process's stdin/stdout, or TCP.
+//
+// The codec lives in its own package (rather than package netio proper)
+// because netio's exporters import internal/core, which sits above the
+// broadcast layer that hosts the distributed runtime; the frame wire format
+// only needs graph and radio types.
+//
+// Decoding is strict and total: it never panics on arbitrary bytes, rejects
+// unknown kinds, non-boolean booleans, invalid action kinds, oversized
+// lengths and trailing payload bytes, and is a byte-fixpoint — re-encoding a
+// decoded frame reproduces the canonical encoding (FuzzFrameDecode holds
+// both properties under fuzzing).
+package frame
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dynsens/internal/graph"
+	"dynsens/internal/radio"
+)
+
+// Kind discriminates the round-barrier protocol's frame types.
+type Kind uint8
+
+const (
+	// KindHello is the node's first frame: it introduces its node ID and
+	// its program's initial Done bit (the coordinator seeds the quiescence
+	// counter from it, like the kernel polls Done before round 1).
+	KindHello Kind = 1 + iota
+	// KindAct asks the node for its action in a round; Round is the node's
+	// local (skewed) round number, so hosts stay skew-ignorant.
+	KindAct
+	// KindAction answers KindAct with the program's choice.
+	KindAction
+	// KindFinish closes the node's round: an optional delivery
+	// (HasMsg/Msg), after which the node reports back its Done bit.
+	KindFinish
+	// KindStatus answers KindFinish with the program's Done bit.
+	KindStatus
+	// KindHalt tells the node the run is over; the node exits its serve
+	// loop.
+	KindHalt
+)
+
+// String names the frame kind for errors and logs.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindAct:
+		return "act"
+	case KindAction:
+		return "action"
+	case KindFinish:
+		return "finish"
+	case KindStatus:
+		return "status"
+	case KindHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Frame is one protocol message. Which fields are meaningful depends on
+// Kind (see the kind constants); the codec encodes exactly the meaningful
+// ones, and decoding leaves the rest zero.
+type Frame struct {
+	Kind   Kind
+	Node   graph.NodeID  // Hello: the node introducing itself
+	Round  int           // Act/Action/Finish/Status: the node-local round
+	Done   bool          // Hello/Status: the program's Done() bit
+	HasMsg bool          // Finish: a delivery rides along in Msg
+	Action radio.Action  // Action: the program's choice for the round
+	Msg    radio.Message // Finish: the delivered message
+}
+
+// MaxPayload bounds a frame's payload size. Real frames are a few dozen
+// bytes; the bound keeps a corrupt or hostile length prefix from turning
+// into an unbounded allocation.
+const MaxPayload = 4096
+
+var (
+	errTooLarge = errors.New("frame: payload length exceeds MaxPayload")
+	errTrailing = errors.New("frame: trailing bytes after payload fields")
+	errShort    = errors.New("frame: payload truncated")
+)
+
+func appendInt(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendMsg(dst []byte, m *radio.Message) []byte {
+	dst = appendInt(dst, int64(m.Seq))
+	dst = appendInt(dst, int64(m.Src))
+	dst = appendInt(dst, int64(m.From))
+	dst = appendInt(dst, int64(m.Dst))
+	dst = appendInt(dst, int64(m.Slot))
+	dst = appendInt(dst, int64(m.Depth))
+	dst = appendInt(dst, int64(m.MaxSlot))
+	dst = appendInt(dst, int64(m.Height))
+	dst = appendInt(dst, int64(m.Group))
+	return appendInt(dst, m.Value)
+}
+
+// appendPayload encodes f's kind byte and fields (without the length
+// prefix).
+func appendPayload(dst []byte, f *Frame) []byte {
+	dst = append(dst, byte(f.Kind))
+	switch f.Kind {
+	case KindHello:
+		dst = appendInt(dst, int64(f.Node))
+		dst = appendBool(dst, f.Done)
+	case KindAct:
+		dst = appendInt(dst, int64(f.Round))
+	case KindAction:
+		dst = appendInt(dst, int64(f.Round))
+		dst = append(dst, byte(f.Action.Kind))
+		dst = appendInt(dst, int64(f.Action.Channel))
+		if f.Action.Kind == radio.Transmit {
+			dst = appendMsg(dst, &f.Action.Msg)
+		}
+	case KindFinish:
+		dst = appendInt(dst, int64(f.Round))
+		dst = appendBool(dst, f.HasMsg)
+		if f.HasMsg {
+			dst = appendMsg(dst, &f.Msg)
+		}
+	case KindStatus:
+		dst = appendInt(dst, int64(f.Round))
+		dst = appendBool(dst, f.Done)
+	case KindHalt:
+	}
+	return dst
+}
+
+// Append appends f's full wire encoding — uvarint payload length, then the
+// payload — to dst and returns the extended slice.
+func Append(dst []byte, f *Frame) []byte {
+	var scratch [64]byte
+	payload := appendPayload(scratch[:0], f)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// payloadReader parses varint fields out of a payload slice.
+type payloadReader struct {
+	b []byte
+}
+
+func (p *payloadReader) int() (int64, error) {
+	v, n := binary.Varint(p.b)
+	if n <= 0 {
+		return 0, errShort
+	}
+	p.b = p.b[n:]
+	return v, nil
+}
+
+func (p *payloadReader) byte() (byte, error) {
+	if len(p.b) == 0 {
+		return 0, errShort
+	}
+	c := p.b[0]
+	p.b = p.b[1:]
+	return c, nil
+}
+
+func (p *payloadReader) bool() (bool, error) {
+	c, err := p.byte()
+	if err != nil {
+		return false, err
+	}
+	switch c {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, fmt.Errorf("frame: boolean byte %d", c)
+}
+
+func (p *payloadReader) msg(m *radio.Message) error {
+	var err error
+	get := func(dst *int) bool {
+		var v int64
+		if v, err = p.int(); err != nil {
+			return false
+		}
+		*dst = int(v)
+		return true
+	}
+	getID := func(dst *graph.NodeID) bool {
+		var v int64
+		if v, err = p.int(); err != nil {
+			return false
+		}
+		*dst = graph.NodeID(v)
+		return true
+	}
+	if !get(&m.Seq) || !getID(&m.Src) || !getID(&m.From) || !getID(&m.Dst) ||
+		!get(&m.Slot) || !get(&m.Depth) || !get(&m.MaxSlot) || !get(&m.Height) ||
+		!get(&m.Group) {
+		return err
+	}
+	m.Value, err = p.int()
+	return err
+}
+
+// Parse decodes one payload (the bytes after the length prefix) into f,
+// which is fully overwritten. Unknown kinds, malformed fields and trailing
+// bytes are errors.
+func Parse(payload []byte, f *Frame) error {
+	*f = Frame{}
+	p := payloadReader{b: payload}
+	k, err := p.byte()
+	if err != nil {
+		return err
+	}
+	f.Kind = Kind(k)
+	switch f.Kind {
+	case KindHello:
+		var v int64
+		if v, err = p.int(); err != nil {
+			return err
+		}
+		f.Node = graph.NodeID(v)
+		if f.Done, err = p.bool(); err != nil {
+			return err
+		}
+	case KindAct:
+		var v int64
+		if v, err = p.int(); err != nil {
+			return err
+		}
+		f.Round = int(v)
+	case KindAction:
+		var v int64
+		if v, err = p.int(); err != nil {
+			return err
+		}
+		f.Round = int(v)
+		var ak byte
+		if ak, err = p.byte(); err != nil {
+			return err
+		}
+		switch radio.ActionKind(ak) {
+		case radio.Sleep, radio.Listen, radio.Transmit:
+			f.Action.Kind = radio.ActionKind(ak)
+		default:
+			return fmt.Errorf("frame: invalid action kind %d", ak)
+		}
+		if v, err = p.int(); err != nil {
+			return err
+		}
+		f.Action.Channel = radio.Channel(v)
+		if f.Action.Kind == radio.Transmit {
+			if err = p.msg(&f.Action.Msg); err != nil {
+				return err
+			}
+		}
+	case KindFinish:
+		var v int64
+		if v, err = p.int(); err != nil {
+			return err
+		}
+		f.Round = int(v)
+		if f.HasMsg, err = p.bool(); err != nil {
+			return err
+		}
+		if f.HasMsg {
+			if err = p.msg(&f.Msg); err != nil {
+				return err
+			}
+		}
+	case KindStatus:
+		var v int64
+		if v, err = p.int(); err != nil {
+			return err
+		}
+		f.Round = int(v)
+		if f.Done, err = p.bool(); err != nil {
+			return err
+		}
+	case KindHalt:
+	default:
+		return fmt.Errorf("frame: unknown kind %d", k)
+	}
+	if len(p.b) != 0 {
+		return errTrailing
+	}
+	return nil
+}
+
+// Encoder writes frames to a stream, one Write call per frame so a frame is
+// never split across writes on pipe-like transports.
+type Encoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewEncoder wraps w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Encode writes one frame.
+func (e *Encoder) Encode(f *Frame) error {
+	e.buf = Append(e.buf[:0], f)
+	_, err := e.w.Write(e.buf)
+	return err
+}
+
+// Decoder reads frames from a stream.
+type Decoder struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewDecoder wraps r (buffering it if it is not already a *bufio.Reader).
+func NewDecoder(r io.Reader) *Decoder {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &Decoder{r: br}
+}
+
+// Decode reads one frame into f. It returns io.EOF only on a clean frame
+// boundary; a stream that ends mid-frame is io.ErrUnexpectedEOF.
+func (d *Decoder) Decode(f *Frame) error {
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("frame: reading length: %w", err)
+	}
+	if n > MaxPayload {
+		return errTooLarge
+	}
+	if cap(d.buf) < int(n) {
+		d.buf = make([]byte, n)
+	}
+	d.buf = d.buf[:n]
+	if _, err := io.ReadFull(d.r, d.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("frame: reading payload: %w", err)
+	}
+	return Parse(d.buf, f)
+}

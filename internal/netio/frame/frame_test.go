@@ -1,0 +1,128 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"dynsens/internal/radio"
+)
+
+func sampleFrames() []Frame {
+	msg := radio.Message{Seq: 7, Src: 2, From: 3, Dst: radio.NoNode, Slot: 4,
+		Depth: 1, MaxSlot: 9, Height: 3, Group: 2, Value: -12345}
+	return []Frame{
+		{Kind: KindHello, Node: 17, Done: true},
+		{Kind: KindHello, Node: -1},
+		{Kind: KindAct, Round: 42},
+		{Kind: KindAction, Round: 3, Action: radio.SleepAction()},
+		{Kind: KindAction, Round: 4, Action: radio.ListenOn(2)},
+		{Kind: KindAction, Round: 5, Action: radio.TransmitOn(1, msg)},
+		{Kind: KindFinish, Round: 6},
+		{Kind: KindFinish, Round: 6, HasMsg: true, Msg: msg},
+		{Kind: KindStatus, Round: 7, Done: true},
+		{Kind: KindHalt},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, f := range sampleFrames() {
+		if err := enc.Encode(&f); err != nil {
+			t.Fatalf("encode %v: %v", f.Kind, err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i, want := range sampleFrames() {
+		var got Frame
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("decode frame %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("frame %d round-trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	var extra Frame
+	if err := dec.Decode(&extra); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameDecodeRejects(t *testing.T) {
+	enc := func(f Frame) []byte { return Append(nil, &f) }
+	good := enc(Frame{Kind: KindStatus, Round: 1, Done: true})
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"unknown kind", []byte{1, 99}},
+		{"zero kind", []byte{1, 0}},
+		{"trailing bytes", append(append([]byte{byte(len(good[1:]) + 1)}, good[1:]...), 0xFF)},
+		{"truncated hello", []byte{1, byte(KindHello)}},
+		{"bad bool", []byte{4, byte(KindStatus), 2, 2, 0}},
+		{"bad action kind", []byte{4, byte(KindAction), 2, 9, 0}},
+		{"oversized length", []byte{0xFF, 0xFF, 0xFF, 0x7F}},
+	}
+	for _, tc := range cases {
+		dec := NewDecoder(bytes.NewReader(tc.in))
+		var f Frame
+		if err := dec.Decode(&f); err == nil || err == io.EOF {
+			t.Errorf("%s: decode accepted %v (err=%v)", tc.name, tc.in, err)
+		}
+	}
+	// A stream that ends mid-frame is an unexpected EOF, not a clean one.
+	dec := NewDecoder(bytes.NewReader(good[:len(good)-1]))
+	var f Frame
+	if err := dec.Decode(&f); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("mid-frame EOF: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// decodeAll decodes frames until the first error, returning the frames and
+// their canonical re-encoding.
+func decodeAll(in []byte) ([]Frame, []byte) {
+	dec := NewDecoder(bytes.NewReader(in))
+	var frames []Frame
+	var out []byte
+	for {
+		var f Frame
+		if err := dec.Decode(&f); err != nil {
+			return frames, out
+		}
+		frames = append(frames, f)
+		out = Append(out, &f)
+	}
+}
+
+// FuzzFrameDecode fuzzes the two codec guarantees: decoding arbitrary bytes
+// never panics, and for every frame that does decode, encode→decode→encode
+// is a byte-fixpoint (the canonical encoding is stable).
+func FuzzFrameDecode(f *testing.F) {
+	var seed []byte
+	for _, fr := range sampleFrames() {
+		seed = Append(seed, &fr)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, byte(KindHalt), 1, byte(KindHalt)})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames1, out1 := decodeAll(data)
+		frames2, out2 := decodeAll(out1)
+		if len(frames1) != len(frames2) {
+			t.Fatalf("re-decode lost frames: %d then %d", len(frames1), len(frames2))
+		}
+		for i := range frames1 {
+			if frames1[i] != frames2[i] {
+				t.Fatalf("frame %d changed across re-decode:\n first %+v\nsecond %+v",
+					i, frames1[i], frames2[i])
+			}
+		}
+		if !bytes.Equal(out1, out2) {
+			t.Fatalf("canonical encoding not a fixpoint:\n first %x\nsecond %x", out1, out2)
+		}
+	})
+}

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
-	"sort"
 	"sync"
 
 	"dynsens/internal/graph"
+	"dynsens/internal/radio/rounds"
 )
 
 // The three-phase kernel.
@@ -102,7 +102,12 @@ type shard struct {
 	evAct []Event      // EvTransmit events, ascending node order (traced runs only)
 	evRx  []Event      // rx-phase events: per listener losses then outcome (traced runs only)
 	cand  []int32      // per-listener candidate scratch, reset for each listener
+	lost  []int32      // per-listener lost-candidate scratch (rounds.Resolve output)
 	deliv []deliverRec // successful receptions, ascending listener order
+
+	// st is the current listener's loss-coin stream, kept in the shard so
+	// taking its address for rounds.Resolve never escapes to the heap.
+	st rounds.LossStream
 
 	// busyNs accumulates wall-clock time spent inside this shard's phase
 	// bodies (perf runs only). Written by the shard's worker goroutine
@@ -178,11 +183,11 @@ type kernel struct {
 	// counter replacing the reference loop's per-round rescan.
 	notDone int
 
-	// nodeFailAt / linkFailAt bucket the failure schedules by round, sorted
-	// within each round, so a round with no failures costs one map lookup
-	// instead of a rescan of the full sorted schedule.
-	nodeFailAt map[int][]graph.NodeID
-	linkFailAt map[int][]linkKey
+	// sched buckets the failure schedules by round, sorted within each
+	// round, so a round with no failures costs one map lookup instead of a
+	// rescan of the full sorted schedule. It is the shared
+	// rounds.Schedule the distributed coordinator also runs on.
+	sched *rounds.Schedule
 
 	actions                   []Action // this round's action per node index
 	awake, listens, transmits []int    // per-node counters, owned by the node's shard
@@ -280,36 +285,12 @@ func (e *Engine) newKernel() *kernel {
 
 	// Bucket the failure schedules by round (satellite bugfix: the
 	// reference loop rescans the full sorted schedules every round). The
-	// sorted flat slices are built first so each bucket inherits the
-	// deterministic emission order.
-	nodeFails := make([]graph.NodeID, 0, len(e.nodeFail))
+	// shared rounds.Schedule sorts each bucket, so every bucket inherits
+	// the deterministic emission order.
+	k.sched = rounds.NewSchedule(e.nodeFail, e.linkFail)
 	for id := range e.nodeFail {
-		nodeFails = append(nodeFails, id)
-	}
-	sort.Slice(nodeFails, func(i, j int) bool { return nodeFails[i] < nodeFails[j] })
-	k.nodeFailAt = make(map[int][]graph.NodeID, len(nodeFails))
-	for _, id := range nodeFails {
-		if r := e.nodeFail[id]; r >= 1 {
-			k.nodeFailAt[r] = append(k.nodeFailAt[r], id)
-		}
 		if i, ok := k.idx[id]; ok {
 			k.deadAt[i] = e.nodeFail[id]
-		}
-	}
-	linkFails := make([]linkKey, 0, len(e.linkFail))
-	for lk := range e.linkFail {
-		linkFails = append(linkFails, lk)
-	}
-	sort.Slice(linkFails, func(i, j int) bool {
-		if linkFails[i].a != linkFails[j].a {
-			return linkFails[i].a < linkFails[j].a
-		}
-		return linkFails[i].b < linkFails[j].b
-	})
-	k.linkFailAt = make(map[int][]linkKey, len(linkFails))
-	for _, lk := range linkFails {
-		if r := e.linkFail[lk]; r >= 1 {
-			k.linkFailAt[r] = append(k.linkFailAt[r], lk)
 		}
 	}
 
@@ -431,14 +412,14 @@ func (k *kernel) run(maxRounds int) Result {
 	for round := 1; round <= maxRounds; round++ {
 		// Scheduled failures fire first and are traced even if this very
 		// round quiesces (reference semantics).
-		for _, id := range k.nodeFailAt[round] {
+		for _, id := range k.sched.NodeFails(round) {
 			e.emit(Event{Round: round, Kind: EvNodeFail, Node: id})
 			if i, ok := k.idx[id]; ok && !k.doneF[i] {
 				k.notDone--
 			}
 		}
-		for _, lk := range k.linkFailAt[round] {
-			e.emit(Event{Round: round, Kind: EvLinkFail, Node: lk.a, Peer: lk.b})
+		for _, lk := range k.sched.LinkFails(round) {
+			e.emit(Event{Round: round, Kind: EvLinkFail, Node: lk.U, Peer: lk.V})
 		}
 		if k.notDone == 0 {
 			res.Rounds = round - 1
@@ -509,7 +490,7 @@ func (k *kernel) run(maxRounds int) Result {
 	// Deaths scheduled for round maxRounds+1 precede the final quiescence
 	// check but fall outside the loop, so they emit no events (reference
 	// semantics: nodeAlive(id, maxRounds+1)).
-	for _, id := range k.nodeFailAt[maxRounds+1] {
+	for _, id := range k.sched.NodeFails(maxRounds + 1) {
 		if i, ok := k.idx[id]; ok && !k.doneF[i] {
 			k.notDone--
 		}
@@ -688,30 +669,27 @@ func (k *kernel) resolve(sh *shard, round int) {
 			continue
 		}
 
-		// Coins and outcome: one draw per candidate in candidate order,
-		// losses staged as they fall, then exactly one outcome event.
-		var st lossStream
+		// Coins and outcome: rounds.Resolve draws one coin per candidate
+		// in candidate order from the listener's stream; losses are staged
+		// in that same order, then exactly one outcome event. The stream
+		// and lost-index buffers live in the shard so the per-listener call
+		// allocates nothing.
 		if lossy {
-			st = newLossStream(e.lossSeed, id, round)
+			sh.st = rounds.NewLossStream(e.lossSeed, id, round)
 		}
-		heard := 0
-		first := int32(-1)
-		for _, j := range sh.cand {
-			if lossy && st.next() < e.lossRate {
-				sh.nLoss++
-				sh.nRx++
-				if k.traced {
-					sh.evRx = append(sh.evRx, Event{Round: round, Kind: EvLoss, Node: id, Peer: k.nodes[j], Channel: ch, Msg: k.actions[j].Msg})
-				}
-				continue
+		verdict, win, lost := rounds.Resolve(len(sh.cand), e.lossRate, &sh.st, sh.lost[:0])
+		sh.lost = lost
+		for _, c := range lost {
+			j := sh.cand[c]
+			sh.nLoss++
+			sh.nRx++
+			if k.traced {
+				sh.evRx = append(sh.evRx, Event{Round: round, Kind: EvLoss, Node: id, Peer: k.nodes[j], Channel: ch, Msg: k.actions[j].Msg})
 			}
-			if heard == 0 {
-				first = j
-			}
-			heard++
 		}
-		switch {
-		case heard == 1:
+		switch verdict {
+		case rounds.Delivered:
+			first := sh.cand[win]
 			sh.nDel++
 			sh.nRx++
 			msg := k.actions[first].Msg
@@ -719,7 +697,7 @@ func (k *kernel) resolve(sh *shard, round int) {
 				sh.evRx = append(sh.evRx, Event{Round: round, Kind: EvDeliver, Node: id, Peer: k.nodes[first], Channel: ch, Msg: msg})
 			}
 			sh.deliv = append(sh.deliv, deliverRec{node: int32(i), msg: msg})
-		case heard > 1:
+		case rounds.Collided:
 			sh.nCol++
 			sh.nRx++
 			if k.traced {

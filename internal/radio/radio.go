@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"dynsens/internal/graph"
+	"dynsens/internal/radio/rounds"
 )
 
 // Channel identifies a radio channel, 0-based.
@@ -228,14 +229,13 @@ func (r Result) MeanAwake() float64 {
 	return float64(sum) / float64(len(r.Awake))
 }
 
-type linkKey struct{ a, b graph.NodeID }
+// linkKey is the normalized undirected link key; it is the rounds package's
+// Link so the engine's failure maps feed rounds.NewSchedule without
+// conversion (the schedule is the shared failure semantics of the kernel
+// and the distributed coordinator).
+type linkKey = rounds.Link
 
-func mkLink(u, v graph.NodeID) linkKey {
-	if u > v {
-		u, v = v, u
-	}
-	return linkKey{u, v}
-}
+func mkLink(u, v graph.NodeID) linkKey { return rounds.MkLink(u, v) }
 
 // Engine drives a set of Programs over a graph.
 type Engine struct {
@@ -314,9 +314,9 @@ func (e *Engine) localRound(id graph.NodeID, round int) int { return round + e.s
 // each listener (fading, interference from outside the model). Lost frames
 // are neither delivered nor do they jam: the listener simply never hears
 // them. Deterministic per seed: coins come from counter-based splitmix64
-// streams keyed by (seed, listener, round) — see rng.go — so the coin for a
-// given frame does not depend on what any other listener heard, and the
-// kernel can draw it in-shard. The scheme changed in the stream-RNG
+// streams keyed by (seed, listener, round) — see internal/radio/rounds —
+// so the coin for a given frame does not depend on what any other listener
+// heard, and the kernel can draw it in-shard. The scheme changed in the stream-RNG
 // revision: runs with the same seed draw different coins than the old
 // serial-*rand.Rand engine did (flight recordings carry the scheme name in
 // their header so old recordings stay interpretable).
@@ -417,10 +417,10 @@ func (e *Engine) RunReference(maxRounds int) Result {
 		linkFails = append(linkFails, lk)
 	}
 	sort.Slice(linkFails, func(i, j int) bool {
-		if linkFails[i].a != linkFails[j].a {
-			return linkFails[i].a < linkFails[j].a
+		if linkFails[i].U != linkFails[j].U {
+			return linkFails[i].U < linkFails[j].U
 		}
-		return linkFails[i].b < linkFails[j].b
+		return linkFails[i].V < linkFails[j].V
 	})
 	for round := 1; round <= maxRounds; round++ {
 		for _, id := range nodeFails {
@@ -430,7 +430,7 @@ func (e *Engine) RunReference(maxRounds int) Result {
 		}
 		for _, lk := range linkFails {
 			if e.linkFail[lk] == round {
-				e.emit(Event{Round: round, Kind: EvLinkFail, Node: lk.a, Peer: lk.b})
+				e.emit(Event{Round: round, Kind: EvLinkFail, Node: lk.U, Peer: lk.V})
 			}
 		}
 
@@ -487,10 +487,11 @@ func (e *Engine) RunReference(maxRounds int) Result {
 			// Loss coins come from the listener's (seed, id, round) counter
 			// stream, one draw per reachable candidate in ascending
 			// transmitter order. That order — not the draw site — is the
-			// contract the kernel reproduces in-shard (see rng.go).
-			var st lossStream
+			// contract every round driver reproduces (see
+			// internal/radio/rounds).
+			var st rounds.LossStream
 			if e.lossRate > 0 {
-				st = newLossStream(e.lossSeed, id, round)
+				st = rounds.NewLossStream(e.lossSeed, id, round)
 			}
 			var heard []tx
 			for _, t := range transmitters[ch] {
@@ -503,7 +504,7 @@ func (e *Engine) RunReference(maxRounds int) Result {
 				if !e.linkAlive(id, t.from, round) {
 					continue
 				}
-				if e.lossRate > 0 && st.next() < e.lossRate {
+				if e.lossRate > 0 && st.Next() < e.lossRate {
 					res.Losses++
 					e.emit(Event{Round: round, Kind: EvLoss, Node: id, Peer: t.from, Channel: ch, Msg: t.msg})
 					continue

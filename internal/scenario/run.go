@@ -19,6 +19,7 @@ import (
 	"dynsens/internal/cnet"
 	"dynsens/internal/core"
 	"dynsens/internal/discovery"
+	"dynsens/internal/dist"
 	"dynsens/internal/energy"
 	"dynsens/internal/expt"
 	"dynsens/internal/flight"
@@ -47,6 +48,14 @@ type RunOptions struct {
 	// Update refreshes the golden metrics/timeline sections instead of
 	// comparing them; Result.Updated then holds the re-formatted file.
 	Update bool
+	// Runtime overrides the spec's runtime when non-empty ("kernel" or
+	// "dist") — the dynsim -runtime flag — so the existing corpus runs
+	// head-to-head on both runtimes without editing files.
+	Runtime string
+	// Fleet overrides the distributed runtime's transport (nil = one
+	// goroutine per node behind an in-memory pipe). dynsim -dnode wires a
+	// dist.ProcFleet of cmd/dnode child processes here. Dist runtime only.
+	Fleet dist.Fleet
 }
 
 // Result is one evaluated scenario run.
@@ -192,37 +201,13 @@ func applyEvents(net *core.Network, base *geom.Deployment, rng float64, events [
 	return nil
 }
 
-// Run executes the scenario through the live stack and evaluates its
-// assertions. The error return covers setup problems (bad spec, broken
-// deployment); assertion failures land in Result.Outcomes.
-func Run(s *Scenario, opts RunOptions) (*Result, error) {
+// buildNet realizes the spec's deployment and runs the script's
+// churn/mobility trace against it, returning the self-organized network
+// every runtime executes on. Both the live runner and the dnode worker go
+// through here, so a distributed worker reconstructs bit-for-bit the same
+// network (and hence the same Programs) as the coordinator.
+func buildNet(s *Scenario, coreCfg core.Config) (*core.Network, error) {
 	sp := s.Spec
-	proto := sp.protocol()
-	record := opts.Record || opts.Verify
-	if record && !FlightCapable(proto) {
-		return nil, fmt.Errorf("scenario %s: recording supports icff|cff|dfo|multicast|pflood, not %s", s.Name(), proto)
-	}
-	workers := sp.Workers
-	if opts.Workers > 0 {
-		workers = opts.Workers
-	}
-
-	// Flight capture: header and construction deltas first, so the
-	// recording carries the full churn history of the build.
-	var fw *flight.Writer
-	var buf bytes.Buffer
-	coreCfg := core.Config{}
-	if record {
-		fw = flight.NewWriter(&buf)
-		fw.WriteHeader(flight.Header{
-			Seed: sp.Seed, N: sp.N, Side: sp.Side, Channels: sp.channels(),
-			Source: sp.Source, Protocol: strings.ToUpper(proto),
-			LossRate: sp.LossRate, LossSeed: sp.LossSeed,
-		})
-		coreCfg.DeltaHook = func(d cnet.Delta) { fw.WriteDelta(flightDelta(d)) }
-	}
-
-	// Deployment + self-organization.
 	cfg := workload.PaperConfig(sp.Seed, sp.Side, sp.N)
 	var net *core.Network
 	if st, ok := traceStep(s); ok {
@@ -263,6 +248,118 @@ func Run(s *Scenario, opts RunOptions) (*Result, error) {
 			return nil, err
 		}
 	}
+	return net, nil
+}
+
+// joinGroups seeds the multicast group membership from the spec: a
+// deterministic fraction of the tree's nodes joins, with the root as a
+// fallback so the group is never empty. Shared by the live runner and
+// BuildPlan so coordinator and workers agree on the relay set.
+func joinGroups(net *core.Network, sp Spec) error {
+	rng := rand.New(rand.NewSource(sp.Seed * 31))
+	joined := 0
+	for _, id := range net.CNet().Tree().Nodes() {
+		if rng.Float64() < sp.groupFrac() {
+			if err := net.JoinGroup(id, sp.group()); err != nil {
+				return err
+			}
+			joined++
+		}
+	}
+	if joined == 0 {
+		return net.JoinGroup(net.Root(), sp.group())
+	}
+	return nil
+}
+
+// BuildPlan reconstructs the scenario's broadcast plan and graph without
+// running it — the dnode worker entry point: a child process loads the
+// same .dsn file, rebuilds the identical deployment and plan, and serves
+// its assigned Program over stdio/TCP. Only the plan-family protocols
+// (the FlightCapable set) have a Program-per-node shape to distribute.
+func BuildPlan(s *Scenario) (*broadcast.Plan, *graph.Graph, error) {
+	sp := s.Spec
+	net, err := buildNet(s, core.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !net.Contains(sp.Source) {
+		return nil, nil, fmt.Errorf("scenario %s: source %d not in the network after the script", s.Name(), sp.Source)
+	}
+	var plan *broadcast.Plan
+	switch proto := sp.protocol(); proto {
+	case "icff":
+		plan, err = broadcast.ICFFPlan(net.Slots(), sp.Source, sp.channels(), nil, nil)
+	case "cff":
+		plan, err = broadcast.CFFPlan(net.Slots(), sp.Source, sp.channels())
+	case "dfo":
+		plan, err = broadcast.DFOPlan(net.CNet(), sp.Source)
+	case "multicast":
+		if err = joinGroups(net, sp); err != nil {
+			return nil, nil, err
+		}
+		plan, err = net.Groups().Plan(net.Slots(), sp.group(), sp.Source, sp.channels())
+	case "pflood":
+		plan, err = broadcast.PFloodPlan(net.Graph(), sp.Source, broadcast.PFloodOptions{
+			Seed: sp.Seed * 13, Forward: sp.Forward, MaxDelay: sp.MaxDelay,
+		})
+	default:
+		return nil, nil, fmt.Errorf("scenario %s: no distributed plan for protocol %q", s.Name(), proto)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, net.Graph(), nil
+}
+
+// Run executes the scenario through the live stack and evaluates its
+// assertions. The error return covers setup problems (bad spec, broken
+// deployment); assertion failures land in Result.Outcomes.
+func Run(s *Scenario, opts RunOptions) (*Result, error) {
+	sp := s.Spec
+	proto := sp.protocol()
+	record := opts.Record || opts.Verify
+	if record && !FlightCapable(proto) {
+		return nil, fmt.Errorf("scenario %s: recording supports icff|cff|dfo|multicast|pflood, not %s", s.Name(), proto)
+	}
+	workers := sp.Workers
+	if opts.Workers > 0 {
+		workers = opts.Workers
+	}
+	runtime := sp.Runtime
+	if opts.Runtime != "" {
+		runtime = opts.Runtime
+	}
+	switch runtime {
+	case "", broadcast.RuntimeKernel:
+	case broadcast.RuntimeDist:
+		if !FlightCapable(proto) {
+			return nil, fmt.Errorf("scenario %s: runtime dist supports icff|cff|dfo|multicast|pflood, not %s", s.Name(), proto)
+		}
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown runtime %q (kernel|dist)", s.Name(), runtime)
+	}
+
+	// Flight capture: header and construction deltas first, so the
+	// recording carries the full churn history of the build.
+	var fw *flight.Writer
+	var buf bytes.Buffer
+	coreCfg := core.Config{}
+	if record {
+		fw = flight.NewWriter(&buf)
+		fw.WriteHeader(flight.Header{
+			Seed: sp.Seed, N: sp.N, Side: sp.Side, Channels: sp.channels(),
+			Source: sp.Source, Protocol: strings.ToUpper(proto),
+			LossRate: sp.LossRate, LossSeed: sp.LossSeed,
+		})
+		coreCfg.DeltaHook = func(d cnet.Delta) { fw.WriteDelta(flightDelta(d)) }
+	}
+
+	// Deployment + self-organization.
+	net, err := buildNet(s, coreCfg)
+	if err != nil {
+		return nil, err
+	}
 	if !net.Contains(sp.Source) {
 		return nil, fmt.Errorf("scenario %s: source %d not in the network after the script", s.Name(), sp.Source)
 	}
@@ -271,6 +368,7 @@ func Run(s *Scenario, opts RunOptions) (*Result, error) {
 	o := broadcast.Options{
 		Channels: sp.Channels, Workers: workers,
 		LossRate: sp.LossRate, LossSeed: sp.LossSeed,
+		Runtime: runtime, Fleet: opts.Fleet,
 	}
 	for _, st := range s.Script {
 		switch st.Verb {
@@ -375,20 +473,8 @@ func runProtocol(net *core.Network, s *Scenario, o broadcast.Options, workers in
 	case "dfo":
 		bm, err = net.BroadcastDFO(sp.Source, o)
 	case "multicast":
-		rng := rand.New(rand.NewSource(sp.Seed * 31))
-		joined := 0
-		for _, id := range net.CNet().Tree().Nodes() {
-			if rng.Float64() < sp.groupFrac() {
-				if err := net.JoinGroup(id, sp.group()); err != nil {
-					return Measured{}, err
-				}
-				joined++
-			}
-		}
-		if joined == 0 {
-			if err := net.JoinGroup(net.Root(), sp.group()); err != nil {
-				return Measured{}, err
-			}
+		if err := joinGroups(net, sp); err != nil {
+			return Measured{}, err
 		}
 		bm, err = net.Multicast(sp.group(), sp.Source, o)
 	case "pflood":

@@ -66,6 +66,11 @@ type Spec struct {
 	// Workers is the radio engine shard-worker count (0 = engine
 	// default). Purely a wall-clock knob: results are byte-identical.
 	Workers int
+	// Runtime selects the execution substrate: "kernel" (default, the
+	// in-process shard-parallel engine) or "dist" (the distributed actor
+	// runtime of internal/dist, plan-family protocols only). Results and
+	// recordings are byte-identical across runtimes for the same spec.
+	Runtime string
 	// Source is the broadcast source node (default 0, the sink).
 	Source graph.NodeID
 	// LossRate drops each frame independently; LossSeed drives the coins.
@@ -284,6 +289,8 @@ func (s *Scenario) parseSpec(data string) error {
 			s.Spec.Channels, err = parseInt(val)
 		case "workers":
 			s.Spec.Workers, err = parseInt(val)
+		case "runtime":
+			s.Spec.Runtime = val
 		case "source":
 			s.Spec.Source, err = parseNodeID(val)
 		case "loss":
@@ -381,6 +388,15 @@ func (s *Scenario) validate() error {
 	if !deployments[sp.deploy()] {
 		return fmt.Errorf("scenario: unknown deploy %q (rgg|grid)", sp.Deploy)
 	}
+	switch sp.Runtime {
+	case "", "kernel":
+	case "dist":
+		if !FlightCapable(sp.protocol()) {
+			return fmt.Errorf("scenario: runtime = dist supports icff|cff|dfo|multicast|pflood, not %s", sp.protocol())
+		}
+	default:
+		return fmt.Errorf("scenario: unknown runtime %q (kernel|dist)", sp.Runtime)
+	}
 	if !(sp.LossRate >= 0 && sp.LossRate <= 1) {
 		return fmt.Errorf("scenario: loss %v out of [0,1]", sp.LossRate)
 	}
@@ -475,6 +491,9 @@ func (s *Scenario) Format() []byte {
 	}
 	if sp.Workers != 0 {
 		put("workers", strconv.Itoa(sp.Workers))
+	}
+	if sp.Runtime != "" {
+		put("runtime", sp.Runtime)
 	}
 	if sp.Source != 0 {
 		put("source", strconv.Itoa(int(sp.Source)))

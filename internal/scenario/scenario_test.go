@@ -149,6 +149,9 @@ func TestParseRejectsInvalidSpecs(t *testing.T) {
 		"bad assertion":      "-- spec --\nn = 4\nside = 8\n-- assert --\nwarp <= 9\n",
 		"NaN churn frac":     "-- spec --\nn = 4\nside = 8\n-- script --\nchurn 3 NaN\n",
 		"spec not key=value": "-- spec --\nn 4\n",
+		"unknown runtime":    "-- spec --\nn = 4\nside = 8\nruntime = warp\n",
+		"dist gather":        "-- spec --\nn = 4\nside = 8\nprotocol = gather\nruntime = dist\n",
+		"dist discovery":     "-- spec --\nn = 4\nside = 8\nprotocol = discovery\nruntime = dist\n",
 	} {
 		if _, err := Parse([]byte(body)); err == nil {
 			t.Errorf("%s: Parse accepted invalid scenario", name)
@@ -205,6 +208,105 @@ rounds = 12
 	got := s.Format()
 	if string(got) != src {
 		t.Fatalf("canonical input did not round-trip:\n%s", got)
+	}
+}
+
+// TestRuntimeKeyRoundTrip pins the runtime spec key: canonical placement
+// (after workers), dist accepted for every plan-family protocol, and
+// structured rejection of unknown values.
+func TestRuntimeKeyRoundTrip(t *testing.T) {
+	const src = `-- spec --
+name = runtime-round-trip
+n = 40
+side = 8
+protocol = icff
+workers = 2
+runtime = dist
+-- assert --
+completed
+`
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Spec.Runtime != "dist" {
+		t.Fatalf("parsed runtime = %q, want dist", s.Spec.Runtime)
+	}
+	if got := s.Format(); string(got) != src {
+		t.Fatalf("runtime key did not round-trip:\n%s", got)
+	}
+
+	if _, err := Parse([]byte("-- spec --\nn = 4\nside = 8\nruntime = warp\n")); err == nil ||
+		!strings.Contains(err.Error(), "kernel|dist") {
+		t.Fatalf("unknown runtime error = %v, want mention of kernel|dist", err)
+	}
+}
+
+// TestRunRuntimeOverride pins the -runtime flag path: the override wins
+// over the spec, bogus values and dist-incapable protocols fail fast.
+func TestRunRuntimeOverride(t *testing.T) {
+	parse := func(body string) *Scenario {
+		s, err := Parse([]byte(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	icff := "-- spec --\nn = 4\nside = 8\n-- assert --\ncompleted\n"
+	if _, err := Run(parse(icff), RunOptions{Runtime: "warp"}); err == nil ||
+		!strings.Contains(err.Error(), "kernel|dist") {
+		t.Fatalf("bogus -runtime error = %v, want mention of kernel|dist", err)
+	}
+	gather := "-- spec --\nn = 4\nside = 8\nprotocol = gather\n-- assert --\ncompleted\n"
+	if _, err := Run(parse(gather), RunOptions{Runtime: "dist"}); err == nil ||
+		!strings.Contains(err.Error(), "runtime dist") {
+		t.Fatalf("dist gather error = %v, want runtime dist rejection", err)
+	}
+}
+
+// TestScenarioRuntimeDeterminism is the scenario-level arm of the
+// cross-runtime equivalence proof: the same spec under -runtime dist must
+// reproduce the kernel's outcomes, measured values and flight recording
+// byte for byte.
+func TestScenarioRuntimeDeterminism(t *testing.T) {
+	src := []byte(`-- spec --
+name = runtime-determinism
+n = 100
+side = 10
+seed = 21
+protocol = icff
+channels = 2
+loss = 0.1
+loss-seed = 5
+-- script --
+fail 7 3
+cut 2 5 4
+-- assert --
+delivery-ratio >= 0.8
+`)
+	var base *Result
+	for _, rt := range []string{"kernel", "dist"} {
+		s, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(s, RunOptions{Runtime: rt, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Passed() {
+			t.Fatalf("runtime %s failed: %+v", rt, res.Failures())
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if res.Measured != base.Measured {
+			t.Errorf("measured differs under dist:\n%+v\nvs\n%+v", res.Measured, base.Measured)
+		}
+		if !bytes.Equal(res.Recording, base.Recording) {
+			t.Errorf("recording differs under dist: %d vs %d bytes", len(res.Recording), len(base.Recording))
+		}
 	}
 }
 

@@ -68,6 +68,7 @@ echo "== fuzz smoke"
 # A few seconds per fuzzer: keeps the harnesses compiling and catches
 # shallow regressions; long fuzz runs stay manual.
 go test -run '^$' -fuzz '^FuzzNetioRead$' -fuzztime 5s ./internal/netio
+go test -run '^$' -fuzz '^FuzzFrameDecode$' -fuzztime 5s ./internal/netio/frame
 go test -run '^$' -fuzz '^FuzzRecordingDecode$' -fuzztime 5s ./internal/flight
 go test -run '^$' -fuzz '^FuzzEngineEquivalence$' -fuzztime 5s ./internal/radio
 go test -run '^$' -fuzz '^FuzzScenarioParse$' -fuzztime 5s ./internal/scenario
@@ -102,6 +103,26 @@ if "$replay_dir/nettool" scenario run testdata/scenarios/negative/violated-round
     exit 1
 fi
 echo "scenario record/verify round-trip OK, negative fixture fails as expected"
+
+echo "== dist runtime smoke"
+# The distributed actor runtime must reproduce the kernel byte for byte
+# (docs/architecture.md, "Distributed runtime"): run one corpus scenario
+# under all three transports — in-process kernel, goroutine fleet, and one
+# OS process per node via dnode — and require identical .dsfr recordings,
+# then replay-verify the distributed recording offline like any other.
+go build -o "$replay_dir/dynsim" ./cmd/dynsim
+go build -o "$replay_dir/dnode" ./cmd/dnode
+dist_dsn=testdata/scenarios/positive/dist-runtime-icff.dsn
+"$replay_dir/dynsim" -scenario "$dist_dsn" -runtime kernel \
+    -record "$replay_dir/dist_kernel.dsfr" > /dev/null
+"$replay_dir/dynsim" -scenario "$dist_dsn" -runtime dist \
+    -record "$replay_dir/dist_local.dsfr" > /dev/null
+"$replay_dir/dynsim" -scenario "$dist_dsn" -dnode "$replay_dir/dnode" \
+    -record "$replay_dir/dist_proc.dsfr" > /dev/null
+cmp "$replay_dir/dist_kernel.dsfr" "$replay_dir/dist_local.dsfr"
+cmp "$replay_dir/dist_kernel.dsfr" "$replay_dir/dist_proc.dsfr"
+"$replay_dir/nettool" scenario verify "$dist_dsn" "$replay_dir/dist_proc.dsfr" > /dev/null
+echo "kernel / goroutine-fleet / process-fleet recordings byte-identical"
 
 echo "== dynlint"
 # All analyzers, the contract checkers (progpurity/shardsafe/hotalloc)
